@@ -1,0 +1,348 @@
+// Benchmark harness: one benchmark per paper table/figure plus ablations
+// of the design decisions DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Wall-clock numbers measure this machine, not the 1983 hardware; the
+// simulated seconds and iteration counts reported via b.ReportMetric are
+// the reproduction targets.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/cg"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fem"
+	"repro/internal/femachine"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/poly"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/splitting"
+	"repro/internal/vec"
+	"repro/internal/vectorsim"
+)
+
+// --- Table 1: parametrized coefficient computation --------------------
+
+func BenchmarkTable1Coefficients(b *testing.B) {
+	for _, m := range []int{2, 3, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := poly.LeastSquares(m, 0.01, 1.02); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 2: CYBER 203 sweep -----------------------------------------
+
+func BenchmarkTable2CyberSweep(b *testing.B) {
+	specs := []experiments.MSpec{{M: 0}, {M: 1}, {M: 2}, {M: 2, Param: true}, {M: 4, Param: true}, {M: 6, Param: true}}
+	for _, a := range []int{10, 20} {
+		for _, s := range specs {
+			b.Run(fmt.Sprintf("a=%d/m=%s", a, s.Label()), func(b *testing.B) {
+				var iters int
+				var secs float64
+				for i := 0; i < b.N; i++ {
+					run, err := vectorsim.SimulatePlate(vectorsim.Cyber203(), a, a, s.M, s.Param, 1e-6)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters, secs = run.Iterations, run.Seconds
+				}
+				b.ReportMetric(float64(iters), "iterations")
+				b.ReportMetric(secs, "simulated-s")
+			})
+		}
+	}
+}
+
+// --- Table 3: Finite Element Machine ------------------------------------
+
+func BenchmarkTable3FEMachine(b *testing.B) {
+	plate, err := fem.NewPlate(6, 6, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range []struct {
+		p     int
+		m     int
+		strat mesh.Strategy
+	}{
+		{1, 0, mesh.RowStrips}, {2, 0, mesh.RowStrips}, {5, 0, mesh.ColStrips},
+		{1, 2, mesh.RowStrips}, {2, 2, mesh.RowStrips}, {5, 2, mesh.ColStrips},
+	} {
+		b.Run(fmt.Sprintf("P=%d/m=%d", spec.p, spec.m), func(b *testing.B) {
+			cfg := femachine.Config{
+				P: spec.p, Strategy: spec.strat, M: spec.m,
+				Tol: 1e-6, MaxIter: 100000, Time: femachine.DefaultTimeModel(),
+			}
+			if spec.m > 0 {
+				cfg.Alphas = poly.Ones(spec.m).Coeffs
+			}
+			var res femachine.Result
+			for i := 0; i < b.N; i++ {
+				mach, err := femachine.New(plate, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = mach.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Iterations), "iterations")
+			b.ReportMetric(res.SimTime, "simulated-s")
+		})
+	}
+}
+
+// --- §2.1 condition study ------------------------------------------------
+
+func BenchmarkConditionEstimate(b *testing.B) {
+	sys, _, err := core.PlateSystem(12, 12, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(sys, core.Config{M: 2, RelResidualTol: 1e-10, MaxIter: 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := repro.EstimateCondition(repro.Result(res)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures: renderers ----------------------------------------------------
+
+func BenchmarkFigureRenderers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AllFigures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Solver benchmarks (real wall clock) --------------------------------
+
+func BenchmarkSolvePlate(b *testing.B) {
+	for _, size := range []int{16, 32} {
+		sys, _, err := core.PlateSystem(size, size, fem.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			label string
+			c     core.Config
+		}{
+			{"cg", core.Config{M: 0}},
+			{"ssor-m1", core.Config{M: 1}},
+			{"ssor-m4-ls", core.Config{M: 4, Coeffs: core.LeastSquaresCoeffs}},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", sys.K.Rows, cfg.label), func(b *testing.B) {
+				c := cfg.c
+				c.Tol = 1e-6
+				c.MaxIter = 100000
+				var iters int
+				for i := 0; i < b.N; i++ {
+					res, err := core.Solve(sys, c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters = res.Stats.Iterations
+				}
+				b.ReportMetric(float64(iters), "iterations")
+			})
+		}
+	}
+}
+
+// --- Ablation: Conrad–Wallach fused sweeps vs naive m-step ---------------
+
+func BenchmarkAblationConradWallach(b *testing.B) {
+	sys, _, err := core.PlateSystem(24, 24, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := splitting.NewSixColorSSOR(sys.K, sys.GroupStart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alphas := poly.Ones(4).Coeffs
+	rhat := make([]float64, sys.K.Rows)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mc.ApplyMStep(rhat, sys.F, alphas)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vec.Zero(rhat)
+			for s := 1; s <= 4; s++ {
+				mc.Step(rhat, sys.F, alphas[4-s])
+			}
+		}
+	})
+}
+
+// --- Ablation: SpMV formats (CSR vs DIA vs parallel CSR) -----------------
+
+func BenchmarkAblationSpMV(b *testing.B) {
+	sys, _, err := core.PlateSystem(40, 40, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sys.K
+	dia := sparse.NewDIAFromCSR(k)
+	x := make([]float64, k.Rows)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, k.Rows)
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.MulVecTo(y, x)
+		}
+	})
+	b.Run("dia", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dia.MulVecTo(y, x)
+		}
+	})
+	b.Run("csr-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.ParMulVecTo(y, x, 0)
+		}
+	})
+}
+
+// --- Ablation: multicolor vs natural ordering SSOR PCG -------------------
+
+func BenchmarkAblationOrdering(b *testing.B) {
+	sys, _, err := core.PlateSystem(20, 20, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		label string
+		c     core.Config
+	}{
+		{"multicolor", core.Config{M: 2, Splitting: core.SSORMulticolor}},
+		{"natural", core.Config{M: 2, Splitting: core.SSORNatural}},
+	} {
+		b.Run(cfg.label, func(b *testing.B) {
+			c := cfg.c
+			c.Tol = 1e-6
+			c.MaxIter = 100000
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(sys, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Stats.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+		})
+	}
+}
+
+// --- Ablation: sum/max circuit vs software ring reduction ----------------
+
+func BenchmarkAblationReduction(b *testing.B) {
+	plate, err := fem.NewPlate(6, 6, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, software := range []bool{false, true} {
+		label := "tree"
+		if software {
+			label = "ring"
+		}
+		b.Run(label, func(b *testing.B) {
+			tm := femachine.DefaultTimeModel()
+			tm.SoftwareReduce = software
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				mach, err := femachine.New(plate, femachine.Config{
+					P: 5, Strategy: mesh.ColStrips, M: 0,
+					Tol: 1e-6, MaxIter: 100000, Time: tm,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := mach.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.SimTime
+			}
+			b.ReportMetric(sim, "simulated-s")
+		})
+	}
+}
+
+// --- Ablation: preconditioner application cost vs m ----------------------
+
+func BenchmarkPrecondApply(b *testing.B) {
+	sys, _, err := core.PlateSystem(24, 24, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := splitting.NewSixColorSSOR(sys.K, sys.GroupStart)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := make([]float64, sys.K.Rows)
+	for _, m := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			p, err := precond.NewMStep(mc, poly.Ones(m))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				p.Apply(z, sys.F)
+			}
+		})
+	}
+}
+
+// --- Baseline: CG on general SPD systems (Poisson substrate) -------------
+
+func BenchmarkPoissonCG(b *testing.B) {
+	k := model.Poisson2D(40, 40)
+	f := make([]float64, k.Rows)
+	f[k.Rows/2] = 1
+	j, err := splitting.NewJacobi(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p3, err := precond.NewMStep(j, poly.Ones(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cg.Solve(k, f, nil, cg.Options{RelResidualTol: 1e-8, MaxIter: 10000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("neumann-m3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cg.Solve(k, f, p3, cg.Options{RelResidualTol: 1e-8, MaxIter: 10000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+// Command cybersim runs the m-step SSOR PCG method for one plate size on
+// the simulated CYBER 203/205 and reports the cost decomposition of the
+// paper's eq. (4.1): T_m = Setup + N_m(A + mB).
+//
+// Usage:
+//
+//	cybersim -a 41 -m 4 -param -machine 203
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/vectorsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cybersim: ")
+	var (
+		a       = flag.Int("a", 41, "rows (= columns) of nodes on the unit square plate")
+		m       = flag.Int("m", 4, "preconditioner steps (0 = plain CG)")
+		param   = flag.Bool("param", false, "use least-squares parametrized coefficients")
+		machine = flag.String("machine", "203", "machine: 203 | 205")
+		tol     = flag.Float64("tol", 1e-6, "‖Δu‖∞ stopping tolerance")
+	)
+	flag.Parse()
+
+	var model vectorsim.Model
+	switch *machine {
+	case "203":
+		model = vectorsim.Cyber203()
+	case "205":
+		model = vectorsim.Cyber205()
+	default:
+		log.Fatalf("unknown machine %q (want 203|205)", *machine)
+	}
+
+	run, err := vectorsim.SimulatePlate(model, *a, *a, *m, *param, *tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s   plate: %d×%d nodes   max vector length v = %d\n",
+		model.Name, *a, *a, run.VectorLen)
+	fmt.Printf("method: m = %s (%s)\n", run.Label(), run.Precond)
+	fmt.Printf("iterations N_m = %d\n", run.Iterations)
+	fmt.Printf("cost model (eq. 4.1): setup %.3e s, A = %.3e s/iter, B = %.3e s/step\n",
+		run.Cost.Setup, run.Cost.A, run.Cost.B)
+	fmt.Printf("inner-product share of A: %.1f%%   B/A = %.3f\n",
+		100*run.Cost.InnerProductShare, run.Cost.B/run.Cost.A)
+	fmt.Printf("simulated time T = %.4f s\n", run.Seconds)
+	fmt.Printf("vector efficiency at v: %.1f%%   at 6v: %.1f%%\n",
+		100*model.Efficiency(run.VectorLen), 100*model.Efficiency(6*run.VectorLen))
+}

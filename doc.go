@@ -1,0 +1,28 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Loyce Adams, "An M-Step Preconditioned Conjugate Gradient Method for
+//	Parallel Computation", NASA CR-172150 / ICASE 83-23 (ICPP 1983).
+//
+// The library implements the paper's m-step preconditioned conjugate
+// gradient method — preconditioners built from m parametrized steps of a
+// stationary iterative method (Jacobi, natural SSOR, or the 6-color
+// multicolor SSOR of the paper's plane-stress test problem) — together
+// with everything needed to regenerate the paper's evaluation: the
+// plane-stress finite element assembly, least-squares and Chebyshev
+// polynomial coefficients, spectral interval estimation, a CYBER 203/205
+// vector machine cost simulator (Table 2) and a concurrent Finite Element
+// Machine simulator (Table 3).
+//
+// Quick start:
+//
+//	p, _ := repro.NewPlateProblem(20, 20)
+//	res, _ := repro.Solve(p, repro.Config{
+//	    M:      4,
+//	    Coeffs: repro.LeastSquaresCoeffs,
+//	    Tol:    1e-6,
+//	})
+//	fmt.Println(res.Stats.Iterations, "iterations")
+//
+// See the examples/ directory, DESIGN.md and EXPERIMENTS.md for the full
+// experiment index.
+package repro

@@ -1,0 +1,54 @@
+// Parallel execution on the simulated Finite Element Machine: solve the
+// paper's 60-equation plate on 1, 2 and 5 processors and report iteration
+// counts (identical across machines sizes), simulated times, speedups and
+// where the parallel overhead goes — reproducing the paper's §4
+// observations in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	problem, err := repro.NewPlateProblem(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Finite Element Machine demo: %d equations\n\n", problem.N())
+
+	for _, m := range []int{0, 2} {
+		fmt.Printf("m = %d:\n", m)
+		var t1 float64
+		for _, p := range []int{1, 2, 5} {
+			strat := repro.RowStrips
+			if p == 5 {
+				strat = repro.ColStrips // one free column per processor (Figure 5)
+			}
+			cfg := repro.FEMachineConfig{
+				P: p, Strategy: strat, M: m,
+				Tol: 1e-6, MaxIter: 100000,
+				Time: repro.DefaultFEMachineTime(),
+			}
+			if m > 0 {
+				cfg.Alphas = []float64{1, 1}[:m] // unparametrized
+			}
+			res, err := repro.RunOnFEMachine(problem, cfg)
+			if err != nil {
+				log.Fatalf("P=%d: %v", p, err)
+			}
+			if p == 1 {
+				t1 = res.SimTime
+			}
+			fmt.Printf("  P=%d: %3d iterations, %.4fs, speedup %.2f  "+
+				"(precond comm %.4fs, halo comm %.4fs, reductions %.4fs)\n",
+				p, res.Iterations, res.SimTime, t1/res.SimTime,
+				res.PrecondCommTime, res.HaloCommTime, res.ReduceWaitTime)
+		}
+	}
+	fmt.Println("\nnote: iteration counts are independent of the processor count;")
+	fmt.Println("speedups sit below ideal and fall as m grows because the")
+	fmt.Println("preconditioner's border exchanges dominate the overhead (§4 obs. 3).")
+}

@@ -1,0 +1,229 @@
+// Package cg implements the preconditioned conjugate gradient method,
+// Algorithm 1 of the paper, for sparse symmetric positive definite systems.
+// The default stopping test is the paper's ‖u^{k+1} − u^k‖_∞ < ε; a
+// relative-residual test is available as an alternative or supplement.
+package cg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// ErrBreakdownMatrix signals (p, Kp) ≤ 0: the system matrix is not positive
+// definite on the Krylov space.
+var ErrBreakdownMatrix = errors.New("cg: breakdown — system matrix not positive definite")
+
+// ErrBreakdownPrecond signals (r̂, r) ≤ 0 away from convergence: the
+// preconditioner is indefinite (the paper's §2 positivity requirement on
+// the eigenvalues of M_m⁻¹K is violated).
+var ErrBreakdownPrecond = errors.New("cg: breakdown — preconditioner not positive definite")
+
+// ErrMaxIterations signals the iteration limit was hit before either
+// stopping test fired.
+var ErrMaxIterations = errors.New("cg: maximum iterations reached without convergence")
+
+// Options configure a solve.
+type Options struct {
+	// Tol is ε in the paper's test ‖u^{k+1}−u^k‖_∞ < ε. Set ≤ 0 to disable.
+	Tol float64
+	// RelResidualTol stops when ‖r‖₂/‖f‖₂ drops below it. Set ≤ 0 to
+	// disable. At least one of the two tests must be enabled.
+	RelResidualTol float64
+	// MaxIter bounds the iteration count (default 10·n).
+	MaxIter int
+	// X0 is the initial guess (default zero).
+	X0 []float64
+	// History records the per-iteration ‖u diff‖_∞ and ‖r‖₂ when true.
+	History bool
+	// OnIteration, when non-nil, is invoked after every iteration with the
+	// 1-based iteration number, ‖u^{k+1}−u^k‖_∞ and ‖r‖₂/‖f‖₂. Returning
+	// false stops the solve (reported as not converged, no error).
+	OnIteration func(iter int, udiff, relres float64) bool
+	// VerifyResidual recomputes the true residual ‖f − K·u‖₂/‖f‖₂ at exit
+	// and stores it in Stats.TrueRelRes (one extra matrix–vector product);
+	// it guards against recurrence drift on long runs.
+	VerifyResidual bool
+}
+
+// Stats reports what a solve did.
+type Stats struct {
+	Iterations    int
+	Converged     bool
+	FinalUDiff    float64 // last ‖u^{k+1}−u^k‖_∞
+	FinalRelRes   float64 // last ‖r‖₂/‖f‖₂
+	InnerProducts int     // number of (·,·) evaluations, the paper's bottleneck metric
+	PrecondApps   int
+	MatVecs       int
+
+	// CGAlphas and CGBetas are the recurrence coefficients; the Lanczos
+	// tridiagonal matrix assembled from them drives the eigenvalue
+	// estimates in internal/eigen.
+	CGAlphas, CGBetas []float64
+
+	// UDiffHistory and ResidualHistory are filled when Options.History.
+	UDiffHistory    []float64
+	ResidualHistory []float64
+
+	// TrueRelRes is the recomputed ‖f − K·u‖₂/‖f‖₂ when
+	// Options.VerifyResidual is set (−1 otherwise).
+	TrueRelRes float64
+	// Stopped reports that Options.OnIteration requested an early stop.
+	Stopped bool
+}
+
+// Solve runs preconditioned CG on K·u = f with preconditioner M.
+// It returns the iterate, statistics, and an error for breakdowns or
+// hitting MaxIter (the partial result is still returned).
+func Solve(k *sparse.CSR, f []float64, m precond.Preconditioner, opt Options) ([]float64, Stats, error) {
+	n := k.Rows
+	if k.Cols != n {
+		return nil, Stats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", k.Rows, k.Cols)
+	}
+	if len(f) != n {
+		return nil, Stats{}, fmt.Errorf("cg: rhs length %d != n %d", len(f), n)
+	}
+	if opt.Tol <= 0 && opt.RelResidualTol <= 0 {
+		return nil, Stats{}, fmt.Errorf("cg: no stopping test enabled (Tol and RelResidualTol both unset)")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	if m == nil {
+		m = precond.Identity{}
+	}
+
+	var st Stats
+	st.TrueRelRes = -1
+	u := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, Stats{}, fmt.Errorf("cg: x0 length %d != n %d", len(opt.X0), n)
+		}
+		copy(u, opt.X0)
+	}
+
+	r := make([]float64, n)    // residual
+	rhat := make([]float64, n) // M⁻¹ r
+	p := make([]float64, n)    // search direction
+	kp := make([]float64, n)   // K p
+
+	// r⁰ = f − K u⁰
+	k.MulVecTo(kp, u)
+	st.MatVecs++
+	vec.Sub(r, f, kp)
+	// M r̂⁰ = r⁰ ; p⁰ = r̂⁰
+	m.Apply(rhat, r)
+	st.PrecondApps++
+	copy(p, rhat)
+
+	normF := vec.Norm2(f)
+	if normF == 0 {
+		normF = 1 // homogeneous system: absolute residual test
+	}
+	finish := func(err error) ([]float64, Stats, error) {
+		if opt.VerifyResidual {
+			tmp := make([]float64, n)
+			k.MulVecTo(tmp, u)
+			st.MatVecs++
+			vec.Sub(tmp, f, tmp)
+			st.TrueRelRes = vec.Norm2(tmp) / normF
+		}
+		return u, st, err
+	}
+
+	rho := vec.Dot(rhat, r)
+	st.InnerProducts++
+	if rho < 0 {
+		return finish(ErrBreakdownPrecond)
+	}
+	if rho == 0 { // zero residual: initial guess solves the system
+		st.Converged = true
+		return finish(nil)
+	}
+
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		k.MulVecTo(kp, p)
+		st.MatVecs++
+		pkp := vec.Dot(p, kp)
+		st.InnerProducts++
+		if pkp <= 0 {
+			return finish(ErrBreakdownMatrix)
+		}
+		alpha := rho / pkp
+		st.CGAlphas = append(st.CGAlphas, alpha)
+
+		// u^{k+1} = u^k + α p ; the paper's test quantity is
+		// ‖u^{k+1}−u^k‖_∞ = |α|·‖p‖_∞.
+		vec.Axpy(alpha, p, u)
+		st.Iterations++
+		udiff := math.Abs(alpha) * vec.NormInf(p)
+		st.FinalUDiff = udiff
+
+		// r^{k+1} = r^k − α K p
+		vec.Axpy(-alpha, kp, r)
+		relres := vec.Norm2(r) / normF
+		st.FinalRelRes = relres
+		if opt.History {
+			st.UDiffHistory = append(st.UDiffHistory, udiff)
+			st.ResidualHistory = append(st.ResidualHistory, relres)
+		}
+		if (opt.Tol > 0 && udiff < opt.Tol) || (opt.RelResidualTol > 0 && relres < opt.RelResidualTol) {
+			st.Converged = true
+			return finish(nil)
+		}
+		if opt.OnIteration != nil && !opt.OnIteration(st.Iterations, udiff, relres) {
+			st.Stopped = true
+			return finish(nil)
+		}
+
+		// M r̂^{k+1} = r^{k+1}
+		m.Apply(rhat, r)
+		st.PrecondApps++
+		rhoNext := vec.Dot(rhat, r)
+		st.InnerProducts++
+		if rhoNext < 0 {
+			return finish(ErrBreakdownPrecond)
+		}
+		if rhoNext == 0 {
+			// (M⁻¹r, r) = 0 with SPD M means r = 0: exact convergence.
+			st.Converged = true
+			return finish(nil)
+		}
+		beta := rhoNext / rho
+		st.CGBetas = append(st.CGBetas, beta)
+		rho = rhoNext
+
+		// p^{k+1} = r̂^{k+1} + β p^k
+		vec.Xpay(rhat, beta, p)
+	}
+	return finish(ErrMaxIterations)
+}
+
+// LanczosTridiagonal reconstructs the Lanczos tridiagonal matrix T from the
+// CG coefficients: T has diagonal d_k = 1/α_k + β_{k−1}/α_{k−1} (β_{−1}=0)
+// and off-diagonal e_k = √β_k / α_k. Its eigenvalues approximate the
+// extreme eigenvalues of M⁻¹K, giving the condition numbers reported by
+// the experiments.
+func LanczosTridiagonal(st Stats) (diag, offdiag []float64) {
+	na := len(st.CGAlphas)
+	if na == 0 {
+		return nil, nil
+	}
+	diag = make([]float64, na)
+	offdiag = make([]float64, 0, na-1)
+	for k := 0; k < na; k++ {
+		diag[k] = 1 / st.CGAlphas[k]
+		if k > 0 {
+			diag[k] += st.CGBetas[k-1] / st.CGAlphas[k-1]
+		}
+		if k < len(st.CGBetas) && k+1 < na {
+			offdiag = append(offdiag, math.Sqrt(st.CGBetas[k])/st.CGAlphas[k])
+		}
+	}
+	return diag, offdiag
+}

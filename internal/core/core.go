@@ -1,0 +1,249 @@
+// Package core composes the paper's pieces — a splitting, polynomial
+// coefficients, and preconditioned conjugate gradient — into the m-step
+// PCG solver that is the paper's contribution. It owns the policy decisions
+// (which splitting, which coefficient criterion, which spectral interval)
+// and delegates the mechanics to internal/splitting, internal/poly,
+// internal/precond, internal/cg and internal/eigen.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cg"
+	"repro/internal/eigen"
+	"repro/internal/fem"
+	"repro/internal/poly"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/splitting"
+)
+
+// SplittingKind selects the stationary method generating the
+// preconditioner.
+type SplittingKind int
+
+const (
+	// SSORMulticolor is the paper's method: the 6-color SSOR splitting
+	// with fused Conrad–Wallach sweeps. Requires GroupStart on the system.
+	SSORMulticolor SplittingKind = iota
+	// SSORNatural is SSOR(ω) in the stored ordering.
+	SSORNatural
+	// JacobiSplitting yields the truncated Neumann-series preconditioner.
+	JacobiSplitting
+)
+
+func (s SplittingKind) String() string {
+	switch s {
+	case SSORMulticolor:
+		return "ssor-multicolor"
+	case SSORNatural:
+		return "ssor-natural"
+	case JacobiSplitting:
+		return "jacobi"
+	}
+	return "?"
+}
+
+// CoeffKind selects the parametrization of §2.2.
+type CoeffKind int
+
+const (
+	// Unparametrized uses αᵢ = 1: plain m steps of the stationary method.
+	Unparametrized CoeffKind = iota
+	// LeastSquaresCoeffs uses the continuous least-squares fit the paper's
+	// Table 1 reports.
+	LeastSquaresCoeffs
+	// ChebyshevCoeffs uses the min-max (Chebyshev) criterion.
+	ChebyshevCoeffs
+	// WeightedLSCoeffs uses least squares with weight w(λ) = λ
+	// (Johnson–Micchelli–Paul's μ = 1 weight: energy-norm emphasis).
+	WeightedLSCoeffs
+)
+
+func (c CoeffKind) String() string {
+	switch c {
+	case Unparametrized:
+		return "ones"
+	case LeastSquaresCoeffs:
+		return "least-squares"
+	case ChebyshevCoeffs:
+		return "chebyshev"
+	case WeightedLSCoeffs:
+		return "least-squares(w=λ)"
+	}
+	return "?"
+}
+
+// System is a symmetric positive definite linear system K·u = F.
+// GroupStart carries the multicolor group boundaries when K is in a
+// multicolor ordering (required by SSORMulticolor, ignored otherwise).
+type System struct {
+	K          *sparse.CSR
+	F          []float64
+	GroupStart []int
+}
+
+// Config selects the solver variant.
+type Config struct {
+	// M is the number of preconditioner steps; 0 runs plain CG.
+	M int
+	// Splitting picks the stationary method (default SSORMulticolor).
+	Splitting SplittingKind
+	// Coeffs picks the parametrization (default Unparametrized).
+	Coeffs CoeffKind
+	// Omega is the SSORNatural relaxation parameter; the paper uses 1 and
+	// notes multicolor SSOR with few colors wants ω = 1 (Adams 1983).
+	Omega float64
+	// Interval optionally pins [λ₁, λₙ] for parametrized coefficients;
+	// when nil it is estimated by the power method on P⁻¹K.
+	Interval *eigen.Interval
+	// Tol is the paper's ‖u^{k+1}−u^k‖_∞ test (default 1e-6 when both
+	// tolerances are unset).
+	Tol float64
+	// RelResidualTol optionally adds/substitutes a relative residual test.
+	RelResidualTol float64
+	// MaxIter bounds iterations (default 10n).
+	MaxIter int
+	// History records per-iteration convergence data.
+	History bool
+	// Seed drives the deterministic interval estimation (default 1).
+	Seed int64
+}
+
+// Result reports a solve.
+type Result struct {
+	U        []float64
+	Stats    cg.Stats
+	Precond  string
+	Alphas   poly.Alphas    // zero-value when M == 0
+	Interval eigen.Interval // zero-value when no estimate was needed
+}
+
+// BuildSplitting constructs the configured splitting for a system.
+func BuildSplitting(sys System, cfg Config) (splitting.Splitting, error) {
+	omega := cfg.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	switch cfg.Splitting {
+	case SSORMulticolor:
+		if sys.GroupStart == nil {
+			return nil, fmt.Errorf("core: multicolor SSOR needs GroupStart (a multicolor-ordered system)")
+		}
+		return splitting.NewMulticolorSSOR(sys.K, sys.GroupStart, omega)
+	case SSORNatural:
+		return splitting.NewNaturalSSOR(sys.K, omega)
+	case JacobiSplitting:
+		return splitting.NewJacobi(sys.K)
+	default:
+		return nil, fmt.Errorf("core: unknown splitting kind %d", cfg.Splitting)
+	}
+}
+
+// BuildCoefficients computes the α for the configured criterion, estimating
+// the spectral interval when necessary.
+func BuildCoefficients(sp splitting.Splitting, cfg Config) (poly.Alphas, eigen.Interval, error) {
+	if cfg.M < 1 {
+		return poly.Alphas{}, eigen.Interval{}, fmt.Errorf("core: coefficients need M >= 1, got %d", cfg.M)
+	}
+	if cfg.Coeffs == Unparametrized {
+		return poly.Ones(cfg.M), eigen.Interval{}, nil
+	}
+	iv := eigen.Interval{}
+	if cfg.Interval != nil {
+		iv = *cfg.Interval
+	} else {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		est, err := eigen.EstimateInterval(sp, 0.02, seed)
+		if err != nil {
+			return poly.Alphas{}, eigen.Interval{}, err
+		}
+		iv = est
+	}
+	if err := iv.Validate(); err != nil {
+		return poly.Alphas{}, iv, err
+	}
+	var a poly.Alphas
+	var err error
+	switch cfg.Coeffs {
+	case LeastSquaresCoeffs:
+		a, err = poly.LeastSquares(cfg.M, iv.Lo, iv.Hi)
+	case ChebyshevCoeffs:
+		a, err = poly.ChebyshevMinMax(cfg.M, iv.Lo, iv.Hi)
+	case WeightedLSCoeffs:
+		a, err = poly.LeastSquaresWeighted(cfg.M, iv.Lo, iv.Hi, poly.Poly{0, 1})
+	default:
+		err = fmt.Errorf("core: unknown coefficient kind %d", cfg.Coeffs)
+	}
+	if err != nil {
+		return poly.Alphas{}, iv, err
+	}
+	if !a.PositiveOn(iv.Lo, iv.Hi) {
+		return a, iv, fmt.Errorf("core: %s coefficients for m=%d are not positive on [%g, %g] — preconditioner would be indefinite",
+			cfg.Coeffs, cfg.M, iv.Lo, iv.Hi)
+	}
+	return a, iv, nil
+}
+
+// BuildPreconditioner assembles the configured preconditioner.
+func BuildPreconditioner(sys System, cfg Config) (precond.Preconditioner, poly.Alphas, eigen.Interval, error) {
+	if cfg.M == 0 {
+		return precond.Identity{}, poly.Alphas{}, eigen.Interval{}, nil
+	}
+	if cfg.M < 0 {
+		return nil, poly.Alphas{}, eigen.Interval{}, fmt.Errorf("core: negative step count %d", cfg.M)
+	}
+	sp, err := BuildSplitting(sys, cfg)
+	if err != nil {
+		return nil, poly.Alphas{}, eigen.Interval{}, err
+	}
+	a, iv, err := BuildCoefficients(sp, cfg)
+	if err != nil {
+		return nil, a, iv, err
+	}
+	p, err := precond.NewMStep(sp, a)
+	if err != nil {
+		return nil, a, iv, err
+	}
+	return p, a, iv, nil
+}
+
+// Solve runs the configured m-step PCG on the system.
+func Solve(sys System, cfg Config) (Result, error) {
+	if sys.K == nil || len(sys.F) != sys.K.Rows {
+		return Result{}, fmt.Errorf("core: malformed system (K nil or |F|=%d != n)", len(sys.F))
+	}
+	p, a, iv, err := BuildPreconditioner(sys, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Tol <= 0 && cfg.RelResidualTol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	u, st, err := cg.Solve(sys.K, sys.F, p, cg.Options{
+		Tol:            cfg.Tol,
+		RelResidualTol: cfg.RelResidualTol,
+		MaxIter:        cfg.MaxIter,
+		History:        cfg.History,
+	})
+	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv}
+	return res, err
+}
+
+// PlateSystem builds the paper's plane-stress test problem in the 6-color
+// ordering, returning the system together with the plate for callers that
+// need the mesh (partitioners, renderers, solution un-permutation).
+func PlateSystem(rows, cols int, opt fem.Options) (System, *fem.Plate, error) {
+	plate, err := fem.NewPlate(rows, cols, opt)
+	if err != nil {
+		return System{}, nil, err
+	}
+	return System{
+		K:          plate.KColored,
+		F:          plate.ColoredRHS(),
+		GroupStart: plate.Ordering.GroupStart[:],
+	}, plate, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MSelection reports the automatic step-count choice driven by the paper's
+// inequality (4.2).
+type MSelection struct {
+	// M is the chosen step count.
+	M int
+	// Iterations[m] records N_m for each probed m (index 1..).
+	Iterations map[int]int
+	// AOverB is the cost ratio the decision used.
+	AOverB float64
+}
+
+// SelectM chooses the number of preconditioner steps by the paper's §4
+// rule: starting from m = 1, take m+1 steps instead of m whenever
+//
+//	N_{m+1}/N_m < (A/B + m)/(A/B + m + 1),
+//
+// where A is the machine cost of one outer CG iteration and B the cost of
+// one preconditioner step (callers obtain A/B from their machine model —
+// e.g. vectorsim's CostBreakdown — or from wall-clock calibration).
+// Probing stops at the first non-beneficial step or at maxM. The supplied
+// cfg selects splitting/coefficients; its M field is ignored.
+func SelectM(sys System, cfg Config, aOverB float64, maxM int) (MSelection, error) {
+	if aOverB <= 0 {
+		return MSelection{}, fmt.Errorf("core: SelectM needs a positive A/B ratio, got %g", aOverB)
+	}
+	if maxM < 1 {
+		return MSelection{}, fmt.Errorf("core: SelectM needs maxM >= 1, got %d", maxM)
+	}
+	sel := MSelection{M: 1, Iterations: map[int]int{}, AOverB: aOverB}
+	iters := func(m int) (int, error) {
+		c := cfg
+		c.M = m
+		if m == 1 {
+			// m=1 parametrization is a scalar multiple — run unparametrized.
+			c.Coeffs = Unparametrized
+		}
+		res, err := Solve(sys, c)
+		if err != nil {
+			return 0, fmt.Errorf("core: SelectM probe m=%d: %w", m, err)
+		}
+		return res.Stats.Iterations, nil
+	}
+	nm, err := iters(1)
+	if err != nil {
+		return MSelection{}, err
+	}
+	sel.Iterations[1] = nm
+	for m := 1; m < maxM; m++ {
+		next, err := iters(m + 1)
+		if err != nil {
+			return MSelection{}, err
+		}
+		sel.Iterations[m+1] = next
+		ratio := float64(next) / float64(nm)
+		threshold := (aOverB + float64(m)) / (aOverB + float64(m) + 1)
+		if ratio >= threshold {
+			return sel, nil
+		}
+		sel.M = m + 1
+		nm = next
+	}
+	return sel, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+func TestSelectMGrowsWithAOverB(t *testing.T) {
+	// The paper's mechanism: cheap preconditioner steps (large A/B) justify
+	// deeper preconditioning.
+	sys, _ := plateSystem(t, 12, 12)
+	cfg := Config{Coeffs: LeastSquaresCoeffs, Tol: 1e-7, MaxIter: 10000}
+	cheap, err := SelectM(sys, cfg, 8.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := SelectM(sys, cfg, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.M < costly.M {
+		t.Fatalf("cheap steps chose m=%d < costly m=%d", cheap.M, costly.M)
+	}
+	if cheap.M < 2 {
+		t.Fatalf("A/B=8 should justify m >= 2, chose %d", cheap.M)
+	}
+}
+
+func TestSelectMStopsAtMaxM(t *testing.T) {
+	sys, _ := plateSystem(t, 10, 10)
+	cfg := Config{Coeffs: LeastSquaresCoeffs, Tol: 1e-7, MaxIter: 10000}
+	sel, err := SelectM(sys, cfg, 100.0, 3) // absurdly cheap steps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.M != 3 {
+		t.Fatalf("expected cap at maxM=3, chose %d", sel.M)
+	}
+	if len(sel.Iterations) != 3 {
+		t.Fatalf("probed %d values, want 3", len(sel.Iterations))
+	}
+}
+
+func TestSelectMIterationsRecorded(t *testing.T) {
+	sys, _ := plateSystem(t, 10, 10)
+	sel, err := SelectM(sys, Config{Coeffs: LeastSquaresCoeffs, Tol: 1e-7, MaxIter: 10000}, 2.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 30
+	for m := 1; m <= sel.M; m++ {
+		n, ok := sel.Iterations[m]
+		if !ok {
+			t.Fatalf("missing probe for m=%d", m)
+		}
+		if n >= prev {
+			t.Fatalf("iterations not decreasing along the accepted path at m=%d", m)
+		}
+		prev = n
+	}
+}
+
+func TestSelectMValidation(t *testing.T) {
+	sys, _ := plateSystem(t, 6, 6)
+	if _, err := SelectM(sys, Config{Tol: 1e-6}, 0, 4); err == nil {
+		t.Fatal("A/B=0 accepted")
+	}
+	if _, err := SelectM(sys, Config{Tol: 1e-6}, 1, 0); err == nil {
+		t.Fatal("maxM=0 accepted")
+	}
+}

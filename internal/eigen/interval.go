@@ -1,0 +1,60 @@
+package eigen
+
+import (
+	"fmt"
+
+	"repro/internal/splitting"
+)
+
+// Interval is an estimated spectral interval [Lo, Hi] for P⁻¹K, padded for
+// safety so the true spectrum is (with high confidence) contained.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Validate reports whether the interval is usable for coefficient
+// optimization.
+func (iv Interval) Validate() error {
+	if !(iv.Lo > 0) || !(iv.Hi > iv.Lo) {
+		return fmt.Errorf("eigen: spectral interval [%g, %g] invalid (need 0 < lo < hi)", iv.Lo, iv.Hi)
+	}
+	return nil
+}
+
+// EstimateInterval estimates [λ₁, λₙ] ⊇ spec(P⁻¹K) for a splitting using
+// the power method on P⁻¹K itself (applied via a zero-r̂ Step composed with
+// G: P⁻¹K·x = x − G·x). The returned interval is padded by `pad`
+// relative (e.g. 0.05) outward on both ends, clamped below at a small
+// positive floor.
+//
+// For the SSOR(ω=1) splitting on an SPD matrix the spectrum lies in (0, 1],
+// so the padded Hi is additionally capped at 1 there by the caller if
+// desired; this function stays splitting-agnostic.
+func EstimateInterval(sp splitting.Splitting, pad float64, seed int64) (Interval, error) {
+	n := sp.N()
+	if n == 0 {
+		return Interval{}, fmt.Errorf("eigen: empty system")
+	}
+	if pad < 0 {
+		return Interval{}, fmt.Errorf("eigen: negative pad %g", pad)
+	}
+	zero := make([]float64, n)
+	// P⁻¹K·x = x − G·x; G·x is Step(x, 0, ·) from r̂ = x.
+	apply := func(dst, x []float64) {
+		copy(dst, x)
+		sp.Step(dst, zero, 1) // dst ← G·dst
+		for i := range dst {
+			dst[i] = x[i] - dst[i]
+		}
+	}
+	lo, hi := ExtremeBySpectralFold(apply, n, seed)
+	if hi <= 0 {
+		return Interval{}, fmt.Errorf("eigen: estimated λmax(P⁻¹K) = %g not positive — K or P not SPD?", hi)
+	}
+	iv := Interval{Lo: lo * (1 - pad), Hi: hi * (1 + pad)}
+	floor := 1e-8 * iv.Hi
+	if iv.Lo < floor {
+		iv.Lo = floor
+	}
+	return iv, iv.Validate()
+}

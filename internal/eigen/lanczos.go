@@ -1,0 +1,108 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Lanczos runs `steps` iterations of the Lanczos process on a symmetric
+// operator and returns the extreme Ritz values (estimates of λmin, λmax).
+// Full reorthogonalization is used — the subspaces here are small (tens of
+// vectors), so the O(steps²·n) cost is irrelevant and the Ritz values stay
+// trustworthy.
+//
+// Compared with the power method, Lanczos converges to both ends of the
+// spectrum simultaneously and much faster on clustered spectra, so
+// EstimateIntervalLanczos needs ~30 operator applications where the
+// spectral-fold power method needs thousands.
+func Lanczos(apply Op, n, steps int, seed int64) (lo, hi float64, err error) {
+	if n < 1 {
+		return 0, 0, fmt.Errorf("eigen: empty system")
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > n {
+		steps = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	nrm := vec.Norm2(v)
+	if nrm == 0 {
+		return 0, 0, fmt.Errorf("eigen: degenerate start vector")
+	}
+	vec.Scale(1/nrm, v)
+
+	basis := make([][]float64, 0, steps)
+	var alpha, beta []float64
+	w := make([]float64, n)
+	for k := 0; k < steps; k++ {
+		basis = append(basis, vec.Clone(v))
+		apply(w, v)
+		a := vec.Dot(v, w)
+		alpha = append(alpha, a)
+		// w ← w − a·v − β·v_{k−1}, then full reorthogonalization.
+		vec.Axpy(-a, v, w)
+		if k > 0 {
+			vec.Axpy(-beta[k-1], basis[k-1], w)
+		}
+		for _, b := range basis {
+			vec.Axpy(-vec.Dot(b, w), b, w)
+		}
+		bNorm := vec.Norm2(w)
+		if k == steps-1 || bNorm < 1e-13*(1+math.Abs(a)) {
+			// Invariant subspace found (or budget exhausted): the Ritz
+			// values of the current tridiagonal are the answer.
+			break
+		}
+		beta = append(beta, bNorm)
+		copy(v, w)
+		vec.Scale(1/bNorm, v)
+	}
+	return TridiagExtremes(alpha, beta[:len(alpha)-1])
+}
+
+// EstimateIntervalLanczos estimates [λ₁, λₙ] ⊇ spec(P⁻¹K) using `steps`
+// Lanczos iterations on P⁻¹K (symmetric in the P inner product; with the
+// SPD splittings here the Euclidean Lanczos process still delivers
+// accurate extreme Ritz values, which the pad absorbs). The result is
+// padded outward like EstimateInterval.
+func EstimateIntervalLanczos(sp interface {
+	N() int
+	Step(rhat, r []float64, alpha float64)
+}, steps int, pad float64, seed int64) (Interval, error) {
+	n := sp.N()
+	if n == 0 {
+		return Interval{}, fmt.Errorf("eigen: empty system")
+	}
+	if pad < 0 {
+		return Interval{}, fmt.Errorf("eigen: negative pad %g", pad)
+	}
+	zero := make([]float64, n)
+	apply := func(dst, x []float64) {
+		copy(dst, x)
+		sp.Step(dst, zero, 1)
+		for i := range dst {
+			dst[i] = x[i] - dst[i]
+		}
+	}
+	lo, hi, err := Lanczos(apply, n, steps, seed)
+	if err != nil {
+		return Interval{}, err
+	}
+	if hi <= 0 {
+		return Interval{}, fmt.Errorf("eigen: estimated λmax(P⁻¹K) = %g not positive — K or P not SPD?", hi)
+	}
+	iv := Interval{Lo: lo * (1 - pad), Hi: hi * (1 + pad)}
+	floor := 1e-8 * iv.Hi
+	if iv.Lo < floor {
+		iv.Lo = floor
+	}
+	return iv, iv.Validate()
+}

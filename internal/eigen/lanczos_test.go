@@ -1,0 +1,97 @@
+package eigen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fem"
+	"repro/internal/model"
+	"repro/internal/splitting"
+)
+
+func TestLanczosLaplacianExtremes(t *testing.T) {
+	n := 60
+	k := model.Laplacian1D(n)
+	wantLo, wantHi := lap1DEigs(n)
+	lo, hi, err := Lanczos(csrOp(k), n, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hi-wantHi) > 1e-4*wantHi {
+		t.Fatalf("λmax = %v, want %v", hi, wantHi)
+	}
+	// The lower end of the Laplacian spectrum is clustered, so Ritz
+	// convergence there is slow: demand an interior estimate within 5× of
+	// the true λmin (the interval pad absorbs this downstream).
+	if lo < wantLo-1e-10 || lo > 5*wantLo {
+		t.Fatalf("λmin = %v, want within [%v, %v]", lo, wantLo, 5*wantLo)
+	}
+}
+
+func TestLanczosFullStepsExact(t *testing.T) {
+	// steps = n: Ritz values are the exact spectrum extremes.
+	n := 20
+	k := model.Laplacian1D(n)
+	wantLo, wantHi := lap1DEigs(n)
+	lo, hi, err := Lanczos(csrOp(k), n, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-wantLo) > 1e-9 || math.Abs(hi-wantHi) > 1e-9 {
+		t.Fatalf("extremes (%v, %v), want (%v, %v)", lo, hi, wantLo, wantHi)
+	}
+}
+
+func TestLanczosInvariantSubspaceStops(t *testing.T) {
+	// Identity operator: the Krylov space collapses after one step; the
+	// estimate must still be exactly 1.
+	id := func(dst, x []float64) { copy(dst, x) }
+	lo, hi, err := Lanczos(id, 10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1) > 1e-12 || math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("identity extremes (%v, %v)", lo, hi)
+	}
+}
+
+func TestLanczosErrors(t *testing.T) {
+	if _, _, err := Lanczos(nil, 0, 5, 1); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
+
+func TestEstimateIntervalLanczosMatchesPowerMethod(t *testing.T) {
+	plate, err := fem.NewPlate(8, 8, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := splitting.NewSixColorSSOR(plate.KColored, plate.Ordering.GroupStart[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivP, err := EstimateInterval(mc, 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivL, err := EstimateIntervalLanczos(mc, 40, 0.02, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ivL.Hi-ivP.Hi) > 0.05*ivP.Hi {
+		t.Fatalf("Hi: lanczos %v vs power %v", ivL.Hi, ivP.Hi)
+	}
+	// λmin of SSOR-preconditioned operators is tiny; demand order-of-
+	// magnitude agreement.
+	if ivL.Lo <= 0 || ivL.Lo > 10*ivP.Lo || ivP.Lo > 10*ivL.Lo {
+		t.Fatalf("Lo: lanczos %v vs power %v", ivL.Lo, ivP.Lo)
+	}
+}
+
+func TestEstimateIntervalLanczosErrors(t *testing.T) {
+	k := model.Laplacian1D(5)
+	j, _ := splitting.NewJacobi(k)
+	if _, err := EstimateIntervalLanczos(j, 10, -1, 1); err == nil {
+		t.Fatal("negative pad accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIrregularStudyConverges(t *testing.T) {
+	res, err := IrregularStudy(9, []MSpec{{M: 0}, {M: 1}, {M: 3, Param: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 2 shapes × 3 specs", len(res.Rows))
+	}
+	// Per shape: preconditioning reduces iterations monotonically across
+	// the spec list.
+	byShape := map[string][]IrregularRow{}
+	for _, r := range res.Rows {
+		byShape[r.Shape] = append(byShape[r.Shape], r)
+		if r.NumColors < 3 || r.NumColors > 6 {
+			t.Fatalf("%s: implausible color count %d", r.Shape, r.NumColors)
+		}
+	}
+	for shape, rows := range byShape {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Iterations >= rows[i-1].Iterations {
+				t.Fatalf("%s: %s (%d iters) not below %s (%d)", shape,
+					rows[i].Spec.Label(), rows[i].Iterations,
+					rows[i-1].Spec.Label(), rows[i-1].Iterations)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Irregular regions") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestBaselineStudyPCGWinsOnWork(t *testing.T) {
+	res, err := BaselineStudy(10, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[string]BaselineRow{}
+	for _, r := range res.Table {
+		byMethod[r.Method] = r
+		if !r.Converged {
+			t.Fatalf("%s did not converge", r.Method)
+		}
+	}
+	ssor := byMethod["SSOR stationary"]
+	pcg := byMethod["4-step SSOR PCG (LS)"]
+	cgRow := byMethod["CG"]
+	if pcg.Sweeps*10 > ssor.Sweeps {
+		t.Fatalf("PCG stationary work %d not an order below pure SSOR %d", pcg.Sweeps, ssor.Sweeps)
+	}
+	if pcg.Iterations >= cgRow.Iterations {
+		t.Fatalf("PCG iterations %d not below CG %d", pcg.Iterations, cgRow.Iterations)
+	}
+	if !strings.Contains(res.Render(), "Baselines") {
+		t.Fatal("render missing title")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fem"
+	"repro/internal/mesh"
+)
+
+// Figure1 renders the colored plate of Figure 1: the node colors of a
+// rows×cols grid, top row printed first (the paper draws y upward).
+func Figure1(rows, cols int) string {
+	g := mesh.NewGrid(rows, cols)
+	var b strings.Builder
+	b.WriteString("Figure 1: plate (triangular elements), R/B/G node coloring\n")
+	for i := rows - 1; i >= 0; i-- {
+		for j := 0; j < cols; j++ {
+			fmt.Fprintf(&b, "%s ", g.ColorOf(i, j))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(every triangle of the SW-NE split has three distinct colors)\n")
+	return b.String()
+}
+
+// Figure2 renders the grid-point stencil actually present in the assembled
+// stiffness matrix — the paper's Figure 2 (7 nodes, ≤14 couplings).
+func Figure2() (string, error) {
+	plate, err := fem.NewPlate(8, 9, fem.Options{})
+	if err != nil {
+		return "", err
+	}
+	st := plate.StencilOffsets()
+	nodes := map[[2]int]bool{}
+	for k := range st {
+		nodes[[2]int{k[0], k[1]}] = true
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: grid point stencil of the assembled plane-stress operator\n")
+	for di := 1; di >= -1; di-- {
+		for dj := -1; dj <= 1; dj++ {
+			switch {
+			case di == 0 && dj == 0:
+				b.WriteString("  (u,v)* ")
+			case nodes[[2]int{di, dj}]:
+				b.WriteString("  (u,v)  ")
+			default:
+				b.WriteString("    .    ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%d coupled node offsets, max %d nonzeros per equation (paper: at most 14)\n",
+		len(nodes), plate.K.MaxRowNNZ())
+	return b.String(), nil
+}
+
+// FigureAssignment renders a node-to-processor assignment (Figures 3 and
+// 5): the owning processor digit per node, "-" for constrained nodes.
+func FigureAssignment(title string, g mesh.Grid, constrained mesh.Constraint, p int, strat mesh.Strategy) (string, error) {
+	pt, err := mesh.NewPartition(g, constrained, p, strat)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d processors, %s)\n", title, p, strat)
+	for i := g.Rows - 1; i >= 0; i-- {
+		for j := 0; j < g.Cols; j++ {
+			id := g.NodeID(i, j)
+			if pt.Owner[id] < 0 {
+				b.WriteString("- ")
+			} else {
+				fmt.Fprintf(&b, "%d ", pt.Owner[id])
+			}
+		}
+		b.WriteString("\n")
+	}
+	bal := pt.ColorBalance()
+	for q := 0; q < p; q++ {
+		fmt.Fprintf(&b, "proc %d: %d nodes (R=%d B=%d G=%d), neighbors %v\n",
+			q, len(pt.Nodes[q]), bal[q][mesh.Red], bal[q][mesh.Black], bal[q][mesh.Green],
+			pt.NeighborProcs(q))
+	}
+	return b.String(), nil
+}
+
+// Figure4 renders the local links a processor uses (6 of the 8
+// nearest-neighbor links, matching the stencil's six neighbor directions).
+func Figure4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: FEM local links used by processor P\n")
+	b.WriteString("  NW?   N     NE\n")
+	b.WriteString("     \\  |  /\n")
+	b.WriteString("  W  -  P  -  E\n")
+	b.WriteString("     /  |  \\\n")
+	b.WriteString("  SW    S    SE?\n")
+	b.WriteString("used: E, W, N, S, NE, SW — the six stencil directions\n")
+	b.WriteString("unused: NW, SE (no coupling across the anti-diagonal)\n")
+	return b.String()
+}
+
+// UsedLinkDirections returns the set of neighbor-processor direction
+// vectors a blocks-partitioned machine would use; for the SW–NE split it is
+// exactly the six stencil directions (Figure 4's claim, derived from data).
+func UsedLinkDirections(g mesh.Grid) []string {
+	dirs := map[[2]int]string{
+		{0, 1}: "E", {0, -1}: "W", {1, 0}: "N", {-1, 0}: "S",
+		{1, 1}: "NE", {-1, -1}: "SW", {1, -1}: "NW", {-1, 1}: "SE",
+	}
+	used := map[string]bool{}
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			for _, nb := range g.Neighbors(i, j) {
+				ni, nj := g.NodeRC(nb)
+				di, dj := sign(ni-i), sign(nj-j)
+				if name, ok := dirs[[2]int{di, dj}]; ok {
+					used[name] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(used))
+	for d := range used {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// AllFigures renders the complete figure set for the paper's test
+// problems.
+func AllFigures() (string, error) {
+	var b strings.Builder
+	b.WriteString(Figure1(6, 6))
+	b.WriteString("\n")
+	f2, err := Figure2()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(f2)
+	b.WriteString("\n")
+	g := mesh.NewGrid(6, 6)
+	for _, spec := range []struct {
+		title string
+		p     int
+		strat mesh.Strategy
+	}{
+		{"Figure 3a/5: two-processor assignment", 2, mesh.RowStrips},
+		{"Figure 5: five-processor assignment", 5, mesh.ColStrips},
+		{"Figure 3b: three-processor assignment", 3, mesh.RowStrips},
+	} {
+		s, err := FigureAssignment(spec.title, g, mesh.LeftEdgeClamped, spec.p, spec.strat)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	b.WriteString(Figure4())
+	fmt.Fprintf(&b, "stencil directions measured from the mesh: %v\n", UsedLinkDirections(g))
+	return b.String(), nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IneqRow evaluates the paper's inequality (4.2) for one step count m in
+// one Table 2 column: taking m+1 steps beats m when
+//
+//	N_{m+1}/N_m < (A/B + m)/(A/B + m + 1).
+type IneqRow struct {
+	M          int
+	Ratio      float64 // N_{m+1} / N_m (left side)
+	Threshold  float64 // (A/B + m)/(A/B + m + 1) (right side)
+	Beneficial bool
+}
+
+// IneqColumn is the analysis for one problem size.
+type IneqColumn struct {
+	A      int
+	AOverB float64
+	Rows   []IneqRow
+}
+
+// Inequality42 applies the analysis to parametrized rows of a Table 2
+// result, using the measured A and B from the cost model.
+func Inequality42(t2 Table2Result) []IneqColumn {
+	var out []IneqColumn
+	for _, col := range t2.Columns {
+		// Collect the parametrized cells ordered by m (plus m=1, which is
+		// unparametrized by definition).
+		iters := map[int]int{}
+		for _, c := range col.Cells {
+			if c.Spec.Param || c.Spec.M <= 1 {
+				iters[c.Spec.M] = c.Iterations
+			}
+		}
+		aOverB := 1 / col.BOverA
+		ic := IneqColumn{A: col.A, AOverB: aOverB}
+		for m := 1; ; m++ {
+			nm, ok1 := iters[m]
+			nm1, ok2 := iters[m+1]
+			if !ok1 || !ok2 {
+				break
+			}
+			ratio := float64(nm1) / float64(nm)
+			thr := (aOverB + float64(m)) / (aOverB + float64(m) + 1)
+			ic.Rows = append(ic.Rows, IneqRow{M: m, Ratio: ratio, Threshold: thr, Beneficial: ratio < thr})
+		}
+		out = append(out, ic)
+	}
+	return out
+}
+
+// RenderInequality formats the analysis.
+func RenderInequality(cols []IneqColumn) string {
+	var b strings.Builder
+	b.WriteString("Inequality (4.2): m+1 preconditioner steps beat m when N_{m+1}/N_m < (A/B+m)/(A/B+m+1)\n")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "a=%d (A/B measured = %.2f):\n", c.A, c.AOverB)
+		for _, r := range c.Rows {
+			verdict := "stop"
+			if r.Beneficial {
+				verdict = "take m+1"
+			}
+			fmt.Fprintf(&b, "  m=%-2d  N_{m+1}/N_m = %.3f  threshold = %.3f  → %s\n",
+				r.M, r.Ratio, r.Threshold, verdict)
+		}
+	}
+	return b.String()
+}

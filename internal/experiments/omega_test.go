@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOmegaStudyOmegaOneGood(t *testing.T) {
+	res, err := OmegaStudy(10, 10, 1, []float64{0.8, 1.0, 1.2, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table) != 4 {
+		t.Fatalf("rows = %d", len(res.Table))
+	}
+	// §5 claim: ω = 1 within 25% of the best sampled ω for the multicolor
+	// splitting (no delicate tuning required).
+	_, best := res.BestOmega()
+	at1 := res.IterationsAt(1)
+	if at1 == 0 {
+		t.Fatal("ω=1 not sampled")
+	}
+	if float64(at1) > 1.25*float64(best) {
+		t.Fatalf("ω=1 iterations %d more than 25%% above best %d", at1, best)
+	}
+	if !strings.Contains(res.Render(), "Relaxation parameter") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestCompareMachines205Faster(t *testing.T) {
+	specs := []MSpec{{M: 0}, {M: 2}, {M: 4, Param: true}}
+	mc, err := CompareMachines(12, specs, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if mc.T205[i] >= mc.T203[i] {
+			t.Fatalf("%s: 205 (%g) not faster than 203 (%g)", specs[i].Label(), mc.T205[i], mc.T203[i])
+		}
+		ratio := mc.T203[i] / mc.T205[i]
+		// Stream rate doubles; the ratio sits near 2.
+		if ratio < 1.5 || ratio > 2.5 {
+			t.Fatalf("%s: speed ratio %g implausible", specs[i].Label(), ratio)
+		}
+	}
+	if !strings.Contains(mc.Render(), "CYBER 203 vs 205") {
+		t.Fatal("render missing title")
+	}
+}

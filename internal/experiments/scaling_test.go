@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingStudyWeakScaling(t *testing.T) {
+	res, err := ScalingStudy(4, []int{1, 2, 3}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Table))
+	}
+	for _, r := range res.Table {
+		if r.P == 1 {
+			if r.Efficiency != 1 {
+				t.Fatalf("P=1 efficiency %v", r.Efficiency)
+			}
+			continue
+		}
+		if r.Efficiency <= 0 || r.Efficiency > 1.01 {
+			t.Fatalf("P=%d m=%d efficiency %v out of range", r.P, r.M, r.Efficiency)
+		}
+		if r.M > 0 && r.PrecondCommShare <= 0 {
+			t.Fatalf("P=%d m=%d: no preconditioner comm recorded", r.P, r.M)
+		}
+	}
+	if !strings.Contains(res.Render(), "Weak scaling") {
+		t.Fatal("render missing title")
+	}
+}

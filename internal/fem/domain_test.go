@@ -1,0 +1,126 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func lshape(t *testing.T, size int) *DomainProblem {
+	t.Helper()
+	d := mesh.LShapedDomain(mesh.NewGrid(size, size))
+	p, err := NewDomainProblem(d, mesh.LeftEdgeClamped, Material{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDomainProblemSymmetricWithValidColoring(t *testing.T) {
+	p := lshape(t, 7)
+	if !p.K.IsSymmetric(1e-10) {
+		t.Fatal("K not symmetric")
+	}
+	if p.NumColors < 3 {
+		t.Fatalf("coloring used %d colors, need >= 3", p.NumColors)
+	}
+	if len(p.GroupStart) != 2*p.NumColors+1 {
+		t.Fatalf("group starts %d for %d colors", len(p.GroupStart), p.NumColors)
+	}
+	if p.GroupStart[len(p.GroupStart)-1] != p.N() {
+		t.Fatal("groups do not cover the system")
+	}
+}
+
+func TestDomainColoredDecoupled(t *testing.T) {
+	// The whole point of the coloring: within a group, the colored matrix
+	// must be diagonal (checked by the multicolor splitting constructor in
+	// solver paths; verified directly here).
+	p := lshape(t, 8)
+	kc := p.KColored
+	groupOf := func(idx int) int {
+		for g := 0; g+1 < len(p.GroupStart); g++ {
+			if idx < p.GroupStart[g+1] {
+				return g
+			}
+		}
+		return -1
+	}
+	for i := 0; i < kc.Rows; i++ {
+		gi := groupOf(i)
+		for k := kc.RowPtr[i]; k < kc.RowPtr[i+1]; k++ {
+			j := kc.ColIdx[k]
+			if i != j && groupOf(j) == gi {
+				t.Fatalf("within-group coupling (%d,%d) in group %d", i, j, gi)
+			}
+		}
+	}
+}
+
+func TestDomainLoadPositiveTotalsArea(t *testing.T) {
+	// Lumped unit x-body-force: total load = t × active area (free share).
+	p := lshape(t, 7)
+	var total float64
+	for i := 0; i < p.N(); i += 2 {
+		total += p.F[i]
+	}
+	// Total over ALL nodes (including constrained) would equal the active
+	// area; free nodes receive most of it.
+	g := p.Domain.Grid
+	cellArea := 1.0 / (float64(g.Rows-1) * float64(g.Cols-1))
+	area := float64(p.Domain.NumActiveCells()) * cellArea
+	if total <= 0 || total > area {
+		t.Fatalf("total load %g outside (0, %g]", total, area)
+	}
+	// v-components unloaded.
+	for i := 1; i < p.N(); i += 2 {
+		if p.F[i] != 0 {
+			t.Fatal("y-load present")
+		}
+	}
+}
+
+func TestDomainRoundTrips(t *testing.T) {
+	p := lshape(t, 6)
+	rhs := p.ColoredRHS()
+	back := p.UncolorSolution(rhs)
+	for i := range back {
+		if back[i] != p.F[i] {
+			t.Fatal("color round trip failed")
+		}
+	}
+}
+
+func TestDomainProblemErrors(t *testing.T) {
+	d := mesh.LShapedDomain(mesh.NewGrid(5, 5))
+	if _, err := NewDomainProblem(d, mesh.NoConstraint, Material{E: -1, Nu: 0.3, T: 1}); err == nil {
+		t.Fatal("bad material accepted")
+	}
+	all := func(i, j int) bool { return true }
+	if _, err := NewDomainProblem(d, all, Material{}); err == nil {
+		t.Fatal("fully constrained domain accepted")
+	}
+}
+
+func TestDomainHoleProblem(t *testing.T) {
+	d := mesh.DomainWithHole(mesh.NewGrid(9, 9), 0.5)
+	p, err := NewDomainProblem(d, mesh.LeftEdgeClamped, Material{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() == 0 || !p.K.IsSymmetric(1e-10) {
+		t.Fatal("hole problem malformed")
+	}
+	// Nodes strictly inside the hole are absent.
+	g := d.Grid
+	for _, id := range p.Free {
+		i, j := g.NodeRC(id)
+		if i == 4 && j == 4 {
+			// The exact center node survives only if some adjacent cell is
+			// active; with a 0.5 hole on 8×8 cells it should not.
+			t.Fatalf("hole-center node %d (%d,%d) is free", id, i, j)
+		}
+	}
+	_ = math.Pi // keep math import if assertions change
+}

@@ -1,0 +1,111 @@
+package fem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaterialValidate(t *testing.T) {
+	if err := DefaultMaterial.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Material{
+		{E: 0, Nu: 0.3, T: 1},
+		{E: 1, Nu: 0.5, T: 1},
+		{E: 1, Nu: -1, T: 1},
+		{E: 1, Nu: 0.3, T: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("material %+v accepted", m)
+		}
+	}
+}
+
+func TestDMatrixSymmetricPD(t *testing.T) {
+	d := DefaultMaterial.DMatrix()
+	if !d.IsSymmetric(1e-15) {
+		t.Fatal("D not symmetric")
+	}
+	for i := 0; i < 3; i++ {
+		if d.At(i, i) <= 0 {
+			t.Fatalf("D diagonal %d not positive", i)
+		}
+	}
+}
+
+func TestCSTStiffnessSymmetricPSD(t *testing.T) {
+	ke, err := CSTStiffness(DefaultMaterial, [3]float64{0, 1, 0}, [3]float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ke.IsSymmetric(1e-12) {
+		t.Fatal("Ke not symmetric")
+	}
+	// Positive semidefinite: xᵀKe x >= 0 for a few vectors.
+	for _, x := range [][]float64{
+		{1, 0, 0, 0, 0, 0},
+		{1, 1, -1, 0.5, 2, -3},
+		{0, 1, 0, 1, 0, 1},
+	} {
+		kx := ke.MulVec(x)
+		var q float64
+		for i := range x {
+			q += x[i] * kx[i]
+		}
+		if q < -1e-12 {
+			t.Fatalf("xᵀKe x = %g < 0", q)
+		}
+	}
+}
+
+func TestCSTRigidBodyModes(t *testing.T) {
+	// Ke annihilates the three rigid-body modes: x-translation,
+	// y-translation, and infinitesimal rotation (u = -y, v = x).
+	x := [3]float64{0.2, 1.1, 0.3}
+	y := [3]float64{0.1, 0.2, 0.9}
+	ke, err := CSTStiffness(DefaultMaterial, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := [][]float64{
+		{1, 0, 1, 0, 1, 0},
+		{0, 1, 0, 1, 0, 1},
+		{-y[0], x[0], -y[1], x[1], -y[2], x[2]},
+	}
+	for mi, mode := range modes {
+		out := ke.MulVec(mode)
+		for i, v := range out {
+			if math.Abs(v) > 1e-12 {
+				t.Fatalf("rigid mode %d not annihilated: Ke·m[%d] = %g", mi, i, v)
+			}
+		}
+	}
+}
+
+func TestCSTDegenerateTriangleRejected(t *testing.T) {
+	// Collinear vertices.
+	if _, err := CSTStiffness(DefaultMaterial, [3]float64{0, 1, 2}, [3]float64{0, 0, 0}); err == nil {
+		t.Fatal("degenerate triangle accepted")
+	}
+	// Clockwise orientation (negative area).
+	if _, err := CSTStiffness(DefaultMaterial, [3]float64{0, 0, 1}, [3]float64{0, 1, 0}); err == nil {
+		t.Fatal("clockwise triangle accepted")
+	}
+}
+
+func TestCSTScalesWithThicknessAndE(t *testing.T) {
+	x := [3]float64{0, 1, 0}
+	y := [3]float64{0, 0, 1}
+	base, _ := CSTStiffness(Material{E: 1, Nu: 0.3, T: 1}, x, y)
+	thick, _ := CSTStiffness(Material{E: 1, Nu: 0.3, T: 2}, x, y)
+	stiff, _ := CSTStiffness(Material{E: 3, Nu: 0.3, T: 1}, x, y)
+	for i := range base.Data {
+		if math.Abs(thick.Data[i]-2*base.Data[i]) > 1e-14 {
+			t.Fatal("Ke not linear in thickness")
+		}
+		if math.Abs(stiff.Data[i]-3*base.Data[i]) > 1e-14 {
+			t.Fatal("Ke not linear in E")
+		}
+	}
+}

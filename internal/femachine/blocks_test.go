@@ -1,0 +1,90 @@
+package femachine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fem"
+	"repro/internal/mesh"
+	"repro/internal/poly"
+)
+
+// Blocks-partitioned machines (Figure 3's rectangular assignments) must
+// reproduce the serial solution on larger plates.
+func TestBlocksPartitionMatchesSerial(t *testing.T) {
+	plate, err := fem.NewPlate(12, 13, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{0, 2} {
+		serialU, serialStats := serialSolve(t, plate, m, 1e-6)
+		for _, p := range []int{4, 6, 9} {
+			cfg := Config{
+				P: p, Strategy: mesh.Blocks, M: m,
+				Tol: 1e-6, MaxIter: 100000, Time: DefaultTimeModel(),
+			}
+			if m > 0 {
+				cfg.Alphas = poly.Ones(m).Coeffs
+			}
+			mach, err := New(plate, cfg)
+			if err != nil {
+				t.Fatalf("P=%d: %v", p, err)
+			}
+			res, err := mach.Run()
+			if err != nil {
+				t.Fatalf("P=%d: %v", p, err)
+			}
+			if di := res.Iterations - serialStats.Iterations; di > 1 || di < -1 {
+				t.Fatalf("m=%d P=%d: %d iterations vs serial %d", m, p, res.Iterations, serialStats.Iterations)
+			}
+			for i := range serialU {
+				if d := math.Abs(res.U[i] - serialU[i]); d > 1e-6 {
+					t.Fatalf("m=%d P=%d: solution deviates at %d by %g", m, p, i, d)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksSpeedupScalesWithP(t *testing.T) {
+	plate, err := fem.NewPlate(12, 13, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simTime := func(p int, strat mesh.Strategy) float64 {
+		cfg := Config{P: p, Strategy: strat, M: 0, Tol: 1e-6, MaxIter: 100000, Time: DefaultTimeModel()}
+		mach, err := New(plate, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}
+	t1 := simTime(1, mesh.RowStrips)
+	t4 := simTime(4, mesh.Blocks)
+	t9 := simTime(9, mesh.Blocks)
+	if s4 := t1 / t4; s4 <= 2 || s4 > 4 {
+		t.Fatalf("4-block speedup %g outside (2, 4]", s4)
+	}
+	if s9 := t1 / t9; s9 <= t1/t4 || s9 > 9 {
+		t.Fatalf("9-block speedup %g not above 4-block or above ideal", s9)
+	}
+}
+
+func TestMaxIterErrorSurfaces(t *testing.T) {
+	plate, err := fem.NewPlate(6, 6, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{P: 2, Strategy: mesh.RowStrips, M: 0, Tol: 1e-14, MaxIter: 2, Time: DefaultTimeModel()}
+	mach, err := New(plate, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mach.Run(); err == nil {
+		t.Fatal("expected max-iteration error")
+	}
+}

@@ -1,0 +1,106 @@
+package femachine
+
+import "sync"
+
+// message is one border-exchange record: the packaged values of one or two
+// unknown colors for the border nodes shared with one neighbor, stamped
+// with its simulated arrival time.
+type message struct {
+	vals    []float64
+	arrival float64
+}
+
+// links is the static channel fabric: one buffered channel per directed
+// neighbor pair, mirroring the machine's dedicated local links.
+type links struct {
+	ch map[[2]int]chan message
+}
+
+func newLinks(pairs [][2]int) *links {
+	l := &links{ch: make(map[[2]int]chan message, len(pairs))}
+	for _, pr := range pairs {
+		// Buffered: a sender never blocks on a peer that is still
+		// computing, matching the hardware's independent link FIFOs.
+		l.ch[pr] = make(chan message, 16)
+	}
+	return l
+}
+
+func (l *links) send(from, to int, m message) { l.ch[[2]int{from, to}] <- m }
+func (l *links) recv(from, to int) message    { return <-l.ch[[2]int{from, to}] }
+
+// reducer is the sum/max circuit and the signal flag network: an all-reduce
+// rendezvous across all P processors. Operands are combined in rank order
+// so the result is deterministic; the result is stamped
+// max(arrival clocks) + circuit latency.
+type reducer struct {
+	p  int
+	tm TimeModel
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	gen    int
+	count  int
+	vals   []float64
+	clocks []float64
+	result float64
+	rclock float64
+}
+
+func newReducer(p int, tm TimeModel) *reducer {
+	r := &reducer{p: p, tm: tm, vals: make([]float64, p), clocks: make([]float64, p)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// reduceOp identifies which combining hardware is used.
+type reduceOp int
+
+const (
+	opSum     reduceOp = iota // sum/max circuit, sum mode
+	opMax                     // sum/max circuit, max mode
+	opFlagMax                 // signal flag network (modeled as a max + test)
+)
+
+// allReduce blocks until every processor has contributed, then returns the
+// combined value and the synchronized result clock.
+func (r *reducer) allReduce(rank int, val, clock float64, op reduceOp) (float64, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen := r.gen
+	r.vals[rank] = val
+	r.clocks[rank] = clock
+	r.count++
+	if r.count == r.p {
+		// Last arrival combines deterministically in rank order.
+		acc := r.vals[0]
+		tmax := r.clocks[0]
+		for i := 1; i < r.p; i++ {
+			switch op {
+			case opSum:
+				acc += r.vals[i]
+			case opMax, opFlagMax:
+				if r.vals[i] > acc {
+					acc = r.vals[i]
+				}
+			}
+			if r.clocks[i] > tmax {
+				tmax = r.clocks[i]
+			}
+		}
+		latency := r.tm.reduceCost(r.p)
+		if op == opFlagMax {
+			latency = r.tm.FlagSync
+		}
+		r.result = acc
+		r.rclock = tmax + latency
+		r.count = 0
+		r.gen++
+		r.cond.Broadcast()
+		return r.result, r.rclock
+	}
+	for gen == r.gen {
+		r.cond.Wait()
+	}
+	return r.result, r.rclock
+}

@@ -1,0 +1,116 @@
+package femachine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cg"
+	"repro/internal/fem"
+	"repro/internal/mesh"
+	"repro/internal/poly"
+	"repro/internal/precond"
+	"repro/internal/splitting"
+)
+
+// The §5 extension, completed in parallel: an L-shaped plate colored by the
+// greedy colorer, distributed across the machine, must reproduce the serial
+// solution with iteration counts independent of P.
+func TestDomainMachineMatchesSerial(t *testing.T) {
+	d := mesh.LShapedDomain(mesh.NewGrid(9, 9))
+	dp, err := fem.NewDomainProblem(d, mesh.LeftEdgeClamped, fem.Material{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial reference.
+	serial := func(m int) ([]float64, int) {
+		var p precond.Preconditioner = precond.Identity{}
+		if m > 0 {
+			mc, err := splitting.NewSixColorSSOR(dp.KColored, dp.GroupStart)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err = precond.NewMStep(mc, poly.Ones(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		u, st, err := cg.Solve(dp.KColored, dp.ColoredRHS(), p, cg.Options{Tol: 1e-6, MaxIter: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u, st.Iterations
+	}
+	for _, m := range []int{0, 1, 2} {
+		serialU, serialIters := serial(m)
+		for _, procs := range []int{1, 2, 4} {
+			strat := mesh.RowStrips
+			if procs == 4 {
+				strat = mesh.ColStrips
+			}
+			cfg := Config{
+				P: procs, Strategy: strat, M: m,
+				Tol: 1e-6, MaxIter: 100000, Time: DefaultTimeModel(),
+			}
+			if m > 0 {
+				cfg.Alphas = poly.Ones(m).Coeffs
+			}
+			mach, err := NewDomainMachine(dp, mesh.LeftEdgeClamped, cfg)
+			if err != nil {
+				t.Fatalf("m=%d P=%d: %v", m, procs, err)
+			}
+			res, err := mach.Run()
+			if err != nil {
+				t.Fatalf("m=%d P=%d: %v", m, procs, err)
+			}
+			if di := res.Iterations - serialIters; di > 1 || di < -1 {
+				t.Fatalf("m=%d P=%d: %d iterations vs serial %d", m, procs, res.Iterations, serialIters)
+			}
+			for i := range serialU {
+				if dv := math.Abs(res.U[i] - serialU[i]); dv > 2e-6 {
+					t.Fatalf("m=%d P=%d: solution deviates at %d by %g", m, procs, i, dv)
+				}
+			}
+		}
+	}
+}
+
+func TestDomainMachineHoleProblem(t *testing.T) {
+	d := mesh.DomainWithHole(mesh.NewGrid(11, 11), 0.4)
+	dp, err := fem.NewDomainProblem(d, mesh.LeftEdgeClamped, fem.Material{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		P: 2, Strategy: mesh.RowStrips, M: 2,
+		Alphas: poly.Ones(2).Coeffs,
+		Tol:    1e-6, MaxIter: 100000, Time: DefaultTimeModel(),
+	}
+	mach, err := NewDomainMachine(dp, mesh.LeftEdgeClamped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mach.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("hole problem did not converge on the machine")
+	}
+	// Speedup exists over single processor.
+	cfg1 := cfg
+	cfg1.P = 1
+	mach1, err := NewDomainMachine(dp, mesh.LeftEdgeClamped, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := mach1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime >= res1.SimTime {
+		t.Fatalf("no speedup: P=2 %g vs P=1 %g", res.SimTime, res1.SimTime)
+	}
+	if res.Iterations != res1.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", res.Iterations, res1.Iterations)
+	}
+}

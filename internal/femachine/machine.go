@@ -1,0 +1,336 @@
+package femachine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fem"
+	"repro/internal/mesh"
+)
+
+// Config selects a machine run.
+type Config struct {
+	P        int
+	Strategy mesh.Strategy
+	// M is the preconditioner step count (0 = plain CG); Alphas must have
+	// length M when M > 0 (use poly.Ones(m).Coeffs for the unparametrized
+	// method).
+	M       int
+	Alphas  []float64
+	Tol     float64 // paper's ‖Δu‖_∞ threshold
+	MaxIter int
+	Time    TimeModel
+}
+
+// Result reports a machine run.
+type Result struct {
+	U          []float64 // solution in the global multicolor ordering
+	Iterations int
+	Converged  bool
+	// SimTime is the maximum final processor clock — wall time on the
+	// machine.
+	SimTime float64
+	// Breakdown (summed over processors):
+	ComputeTime     float64 // flop charges
+	PrecondCommTime float64 // border exchanges inside the preconditioner
+	HaloCommTime    float64 // p-vector border exchanges in CG proper
+	ReduceWaitTime  float64 // inner-product and flag synchronizations
+	// Message/reduction counters.
+	PrecondExchanges int
+	HaloExchanges    int
+	Reductions       int
+}
+
+// Machine is a configured Finite Element Machine ready to solve one
+// multicolor-ordered problem.
+type Machine struct {
+	cfg   Config
+	prob  ColoredProblem
+	part  *mesh.Partition
+	procs []*proc
+	links *links
+	red   *reducer
+
+	numColors int
+	numGroups int
+	allColors []int
+	// colored-index lookup tables shared by every processor build
+	nodeOfColored  []int
+	compOfColored  []int
+	groupOfColored []int
+	freePos        map[int]int
+}
+
+// New builds the machine for the paper's plate problem.
+func New(plate *fem.Plate, cfg Config) (*Machine, error) {
+	return NewMachine(PlateProblem(plate), cfg)
+}
+
+// NewDomainMachine builds the machine for an irregular-region problem —
+// the parallel completion of the paper's §5 future work.
+func NewDomainMachine(p *fem.DomainProblem, constrained mesh.Constraint, cfg Config) (*Machine, error) {
+	cp, err := DomainColoredProblem(p, constrained)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(cp, cfg)
+}
+
+// NewMachine builds the machine for any multicolor-ordered problem: it
+// partitions the free nodes, extracts each processor's rows of the colored
+// system, and wires the neighbor links.
+func NewMachine(prob ColoredProblem, cfg Config) (*Machine, error) {
+	if err := cfg.Time.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prob.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tol <= 0 {
+		return nil, fmt.Errorf("femachine: Tol must be positive")
+	}
+	n := prob.KColored.Rows
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 10 * n
+	}
+	if cfg.M < 0 || (cfg.M > 0 && len(cfg.Alphas) != cfg.M) {
+		return nil, fmt.Errorf("femachine: need len(Alphas) == M, got %d vs %d", len(cfg.Alphas), cfg.M)
+	}
+	part, err := mesh.NewPartition(prob.Grid, prob.Constrained, cfg.P, cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg: cfg, prob: prob, part: part,
+		red:       newReducer(cfg.P, cfg.Time),
+		numColors: prob.NumColors,
+		numGroups: 2 * prob.NumColors,
+	}
+	for c := 0; c < m.numColors; c++ {
+		m.allColors = append(m.allColors, c)
+	}
+	// Colored-index lookup tables.
+	m.nodeOfColored = make([]int, n)
+	m.compOfColored = make([]int, n)
+	m.groupOfColored = make([]int, n)
+	m.freePos = make(map[int]int, len(prob.Free))
+	for k, id := range prob.Free {
+		m.freePos[id] = k
+		for comp := 0; comp < 2; comp++ {
+			ci := prob.ColoredIndex(k, comp)
+			m.nodeOfColored[ci] = id
+			m.compOfColored[ci] = comp
+		}
+	}
+	for g := 0; g < m.numGroups; g++ {
+		for i := prob.GroupStart[g]; i < prob.GroupStart[g+1]; i++ {
+			m.groupOfColored[i] = g
+		}
+	}
+
+	var pairs [][2]int
+	for p := 0; p < cfg.P; p++ {
+		for _, q := range part.NeighborProcs(p) {
+			pairs = append(pairs, [2]int{p, q})
+		}
+	}
+	m.links = newLinks(pairs)
+	for p := 0; p < cfg.P; p++ {
+		lp, err := buildProc(m, p)
+		if err != nil {
+			return nil, err
+		}
+		m.procs = append(m.procs, lp)
+	}
+	return m, nil
+}
+
+// Run executes the machine: one goroutine per processor. It gathers the
+// distributed solution back into the global multicolor ordering.
+func (m *Machine) Run() (Result, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, m.cfg.P)
+	for p := 0; p < m.cfg.P; p++ {
+		wg.Add(1)
+		go func(lp *proc) {
+			defer wg.Done()
+			errs[lp.rank] = lp.solve()
+		}(m.procs[p])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{U: make([]float64, m.prob.KColored.Rows)}
+	for _, lp := range m.procs {
+		for i, gidx := range lp.coloredIdx {
+			res.U[gidx] = lp.u[i]
+		}
+		if lp.clock > res.SimTime {
+			res.SimTime = lp.clock
+		}
+		res.ComputeTime += lp.computeTime
+		res.PrecondCommTime += lp.precondCommTime
+		res.HaloCommTime += lp.haloCommTime
+		res.ReduceWaitTime += lp.reduceWaitTime
+		res.PrecondExchanges += lp.precondExchanges
+		res.HaloExchanges += lp.haloExchanges
+		res.Reductions += lp.reductions
+	}
+	res.Iterations = m.procs[0].iterations
+	res.Converged = m.procs[0].converged
+	return res, nil
+}
+
+// proc is one processor's static data and run state.
+type proc struct {
+	m    *Machine
+	rank int
+
+	ownNodes  []int // natural node ids, ascending
+	haloNodes []int
+	liOf      map[int]int // natural node id -> local node index (own then halo)
+	nOwn      int
+	nAll      int
+
+	// Row data for own dofs (flat index 2*localNode+comp), with entries
+	// sorted by the global colored order and segmented by unknown group
+	// (rowSeg[flat] has numGroups+1 boundaries).
+	rowCols [][]int32 // local flat column indices (may point into halo)
+	rowVals [][]float64
+	rowSeg  [][]int32
+	diag    []float64
+	f       []float64
+
+	colorOwn [][]int // own local node indices per node color
+
+	neighbors []int
+	sendNodes map[int][][]int // per neighbor, per color: own local node indices to send
+	recvNodes map[int][][]int // per neighbor, per color: halo local node indices to fill
+
+	coloredIdx []int // own flat dof -> global colored index
+
+	// run state
+	u, r, kp   []float64 // own dofs
+	rhat, pvec []float64 // own + halo dofs
+	ycache     []float64 // Conrad–Wallach cache, own dofs
+	clock      float64
+	iterations int
+	converged  bool
+
+	computeTime      float64
+	precondCommTime  float64
+	haloCommTime     float64
+	reduceWaitTime   float64
+	precondExchanges int
+	haloExchanges    int
+	reductions       int
+}
+
+// buildProc extracts processor p's slice of the global colored system.
+func buildProc(m *Machine, p int) (*proc, error) {
+	prob, part := m.prob, m.part
+	lp := &proc{m: m, rank: p}
+	lp.ownNodes = part.Nodes[p]
+	lp.haloNodes = part.HaloNodes(p)
+	lp.nOwn = len(lp.ownNodes)
+	lp.nAll = lp.nOwn + len(lp.haloNodes)
+	lp.liOf = make(map[int]int, lp.nAll)
+	for i, id := range lp.ownNodes {
+		lp.liOf[id] = i
+	}
+	for i, id := range lp.haloNodes {
+		lp.liOf[id] = lp.nOwn + i
+	}
+	lp.colorOwn = make([][]int, m.numColors)
+	for i, id := range lp.ownNodes {
+		c := prob.ColorOf(id)
+		if c < 0 || c >= m.numColors {
+			return nil, fmt.Errorf("femachine: node %d has color %d outside [0,%d)", id, c, m.numColors)
+		}
+		lp.colorOwn[c] = append(lp.colorOwn[c], i)
+	}
+
+	kc := prob.KColored
+	nd := 2 * lp.nOwn
+	lp.rowCols = make([][]int32, nd)
+	lp.rowVals = make([][]float64, nd)
+	lp.rowSeg = make([][]int32, nd)
+	lp.diag = make([]float64, nd)
+	lp.f = make([]float64, nd)
+	lp.coloredIdx = make([]int, nd)
+
+	for li, id := range lp.ownNodes {
+		freeK, ok := m.freePos[id]
+		if !ok {
+			return nil, fmt.Errorf("femachine: constrained node %d assigned to processor %d", id, p)
+		}
+		for comp := 0; comp < 2; comp++ {
+			row := prob.ColoredIndex(freeK, comp)
+			flat := 2*li + comp
+			lp.coloredIdx[flat] = row
+			lp.f[flat] = prob.RHS[row]
+			seg := make([]int32, m.numGroups+1)
+			curGroup := 0
+			for k := kc.RowPtr[row]; k < kc.RowPtr[row+1]; k++ {
+				col := kc.ColIdx[k]
+				if col == row {
+					lp.diag[flat] = kc.Val[k]
+					// The diagonal also stays in the row (inside its own
+					// group's segment) so K·p sums in exactly the serial
+					// column order; the sweeps' one-sided sums never touch
+					// the within-group segment.
+				}
+				g := m.groupOfColored[col]
+				for curGroup < g {
+					curGroup++
+					seg[curGroup] = int32(len(lp.rowCols[flat]))
+				}
+				colNode := m.nodeOfColored[col]
+				colComp := m.compOfColored[col]
+				colLi, ok := lp.liOf[colNode]
+				if !ok {
+					return nil, fmt.Errorf("femachine: proc %d row for node %d references node %d outside own+halo", p, id, colNode)
+				}
+				lp.rowCols[flat] = append(lp.rowCols[flat], int32(2*colLi+colComp))
+				lp.rowVals[flat] = append(lp.rowVals[flat], kc.Val[k])
+			}
+			for curGroup < m.numGroups {
+				curGroup++
+				seg[curGroup] = int32(len(lp.rowCols[flat]))
+			}
+			lp.rowSeg[flat] = seg
+			if lp.diag[flat] <= 0 {
+				return nil, fmt.Errorf("femachine: non-positive diagonal at proc %d dof %d", p, flat)
+			}
+		}
+	}
+
+	lp.neighbors = part.NeighborProcs(p)
+	lp.sendNodes = make(map[int][][]int, len(lp.neighbors))
+	lp.recvNodes = make(map[int][][]int, len(lp.neighbors))
+	for _, q := range lp.neighbors {
+		snd := make([][]int, m.numColors)
+		rcv := make([][]int, m.numColors)
+		for _, id := range part.BorderNodes(p, q) {
+			c := prob.ColorOf(id)
+			snd[c] = append(snd[c], lp.liOf[id])
+		}
+		for _, id := range part.BorderNodes(q, p) {
+			c := prob.ColorOf(id)
+			rcv[c] = append(rcv[c], lp.liOf[id])
+		}
+		lp.sendNodes[q] = snd
+		lp.recvNodes[q] = rcv
+	}
+
+	lp.u = make([]float64, nd)
+	lp.r = make([]float64, nd)
+	lp.kp = make([]float64, nd)
+	lp.rhat = make([]float64, 2*lp.nAll)
+	lp.pvec = make([]float64, 2*lp.nAll)
+	lp.ycache = make([]float64, nd)
+	return lp, nil
+}

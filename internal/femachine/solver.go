@@ -1,0 +1,272 @@
+package femachine
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrMaxIterations reports a machine run that hit the iteration cap.
+var ErrMaxIterations = errors.New("femachine: maximum iterations reached without convergence")
+
+// charge advances the local clock by n floating-point operations.
+func (lp *proc) charge(flops int) {
+	dt := float64(flops) * lp.m.cfg.Time.Flop
+	lp.clock += dt
+	lp.computeTime += dt
+}
+
+// exchange sends and receives the border values of the given node colors
+// for the combined vector v (own+halo layout). Both components of every
+// listed node travel in one record per neighbor, the packaging §3.2
+// recommends. commTime/count record the category (preconditioner vs halo).
+func (lp *proc) exchange(v []float64, colors []int, commTime *float64, count *int) {
+	if len(lp.neighbors) == 0 {
+		return
+	}
+	tm := lp.m.cfg.Time
+	// Send to every neighbor first (links are buffered, so this cannot
+	// deadlock), then drain the receives.
+	for _, q := range lp.neighbors {
+		var vals []float64
+		for _, c := range colors {
+			for _, li := range lp.sendNodes[q][c] {
+				vals = append(vals, v[2*li], v[2*li+1])
+			}
+		}
+		lp.clock += tm.MsgStartup
+		*commTime += tm.MsgStartup
+		arrival := lp.clock + float64(len(vals))*tm.Word
+		lp.m.links.send(lp.rank, q, message{vals: vals, arrival: arrival})
+	}
+	for _, q := range lp.neighbors {
+		msg := lp.m.links.recv(q, lp.rank)
+		if msg.arrival > lp.clock {
+			*commTime += msg.arrival - lp.clock
+			lp.clock = msg.arrival
+		}
+		i := 0
+		for _, c := range colors {
+			for _, li := range lp.recvNodes[q][c] {
+				v[2*li] = msg.vals[i]
+				v[2*li+1] = msg.vals[i+1]
+				i += 2
+			}
+		}
+	}
+	*count += len(lp.neighbors)
+}
+
+// allReduce performs a global reduction, charging the synchronization wait.
+func (lp *proc) allReduce(val float64, op reduceOp) float64 {
+	res, rclock := lp.m.red.allReduce(lp.rank, val, lp.clock, op)
+	if rclock > lp.clock {
+		lp.reduceWaitTime += rclock - lp.clock
+		lp.clock = rclock
+	}
+	lp.reductions++
+	return res
+}
+
+// dotOwn is the local part of an inner product over own dofs.
+func (lp *proc) dotOwn(a, b []float64) float64 {
+	n := 2 * lp.nOwn
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	lp.charge(2 * n)
+	return s
+}
+
+// rowSum accumulates Σ rowVals[k]·x[cols[k]] over the half-open entry range
+// [lo, hi) of row `flat`.
+func (lp *proc) rowSum(flat int, lo, hi int32, x []float64) float64 {
+	cols := lp.rowCols[flat]
+	vals := lp.rowVals[flat]
+	var s float64
+	for k := lo; k < hi; k++ {
+		s += vals[k] * x[cols[k]]
+	}
+	return s
+}
+
+// localKp computes kp = K·p over own rows (p must have fresh halo values).
+// The diagonal is stored inside the row, so the sum runs in exactly the
+// serial CSR column order.
+func (lp *proc) localKp() {
+	ng := lp.m.numGroups
+	flops := 0
+	for flat := 0; flat < 2*lp.nOwn; flat++ {
+		seg := lp.rowSeg[flat]
+		lp.kp[flat] = lp.rowSum(flat, seg[0], seg[ng], lp.pvec)
+		flops += 2 * int(seg[ng]-seg[0])
+	}
+	lp.charge(flops)
+}
+
+// solveGroup runs one color-group solve of Algorithm 3: for each own
+// unknown of group g, combine the fresh one-sided sum, the Conrad–Wallach
+// cache, and α·r, and divide by the diagonal. forward selects which side is
+// fresh; cache controls whether the fresh sum is saved; solve=false elides
+// the dead backward color-1 solves of non-final steps (the sum is still
+// computed for the cache).
+func (lp *proc) solveGroup(g int, alpha float64, forward, cache, solve bool) {
+	color := g / 2
+	comp := g % 2
+	ng := lp.m.numGroups
+	flops := 0
+	for _, li := range lp.colorOwn[color] {
+		flat := 2*li + comp
+		seg := lp.rowSeg[flat]
+		var x float64
+		if forward {
+			x = -lp.rowSum(flat, seg[0], seg[g], lp.rhat)
+			flops += 2 * int(seg[g]-seg[0])
+		} else {
+			x = -lp.rowSum(flat, seg[g+1], seg[ng], lp.rhat)
+			flops += 2 * int(seg[ng]-seg[g+1])
+		}
+		if solve {
+			lp.rhat[flat] = (x + lp.ycache[flat] + alpha*lp.r[flat]) / lp.diag[flat]
+			flops += 4
+		}
+		if cache {
+			lp.ycache[flat] = x
+		}
+	}
+	lp.charge(flops)
+}
+
+// msweep applies the m-step 6-color SSOR preconditioner (Algorithm 3):
+// rhat = M_m⁻¹·r, exchanging border colors exactly when the next group
+// solve needs them.
+func (lp *proc) msweep() {
+	cfg := lp.m.cfg
+	m := cfg.M
+	for i := range lp.rhat {
+		lp.rhat[i] = 0
+	}
+	for i := range lp.ycache {
+		lp.ycache[i] = 0
+	}
+	nc := lp.m.numColors
+	lastGroup := 2*nc - 1
+	for s := 1; s <= m; s++ {
+		alpha := cfg.Alphas[m-s]
+		// Forward half-sweep: groups ascending, exchanging each node
+		// color's pair right after its v-component solve. The last group's
+		// cache must remain zero: its upper sum is empty and its backward
+		// re-solve is skipped.
+		for c := 0; c < nc; c++ {
+			lp.solveGroup(2*c, alpha, true, true, true)
+			lp.solveGroup(2*c+1, alpha, true, 2*c+1 < lastGroup, true)
+			lp.exchange(lp.rhat, []int{c}, &lp.precondCommTime, &lp.precondExchanges)
+		}
+		// Backward half-sweep: skip the last group (identical re-solve);
+		// for each color from the top, solve its v- then u-group and
+		// exchange the color pair right after the u-group solve — except
+		// color 0, whose u-solve is dead until the final step and whose
+		// pair travels with the next forward sweep.
+		for c := nc - 1; c >= 1; c-- {
+			if 2*c+1 != lastGroup {
+				lp.solveGroup(2*c+1, alpha, false, true, true)
+			}
+			lp.solveGroup(2*c, alpha, false, true, true)
+			lp.exchange(lp.rhat, []int{c}, &lp.precondCommTime, &lp.precondExchanges)
+		}
+		if lastGroup != 1 {
+			lp.solveGroup(1, alpha, false, true, true)
+		}
+		lp.solveGroup(0, alpha, false, true, s == m)
+	}
+}
+
+// solve is the per-processor PCG driver (Algorithm 1 on the machine).
+func (lp *proc) solve() error {
+	cfg := lp.m.cfg
+	n := 2 * lp.nOwn
+
+	// r⁰ = f − K·u⁰ with u⁰ = 0. The real machine still performs the
+	// product; charge it for timing fidelity.
+	lp.exchange(lp.pvec, lp.m.allColors, &lp.haloCommTime, &lp.haloExchanges)
+	lp.localKp()
+	for i := 0; i < n; i++ {
+		lp.r[i] = lp.f[i] - lp.kp[i]
+	}
+	lp.charge(n)
+
+	lp.applyPrecond()
+	for i := 0; i < n; i++ {
+		lp.pvec[i] = lp.rhat[i]
+	}
+	lp.charge(n)
+
+	rho := lp.allReduce(lp.dotOwn(lp.rhat, lp.r), opSum)
+	if rho == 0 {
+		lp.converged = true
+		return nil
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		lp.exchange(lp.pvec, lp.m.allColors, &lp.haloCommTime, &lp.haloExchanges)
+		lp.localKp()
+		pkp := lp.allReduce(lp.dotOwn(lp.pvec, lp.kp), opSum)
+		if pkp <= 0 {
+			return errors.New("femachine: matrix not positive definite on machine")
+		}
+		alpha := rho / pkp
+
+		var pmax float64
+		for i := 0; i < n; i++ {
+			lp.u[i] += alpha * lp.pvec[i]
+			if a := math.Abs(lp.pvec[i]); a > pmax {
+				pmax = a
+			}
+		}
+		lp.charge(3 * n)
+		lp.iterations++
+
+		// Convergence via the signal flag network: every processor
+		// contributes its local ‖Δu‖_∞; all flags raised ⇔ global max
+		// below tolerance.
+		udiff := lp.allReduce(math.Abs(alpha)*pmax, opFlagMax)
+
+		for i := 0; i < n; i++ {
+			lp.r[i] -= alpha * lp.kp[i]
+		}
+		lp.charge(2 * n)
+
+		if udiff < cfg.Tol {
+			lp.converged = true
+			return nil
+		}
+
+		lp.applyPrecond()
+		rhoNext := lp.allReduce(lp.dotOwn(lp.rhat, lp.r), opSum)
+		if rhoNext < 0 {
+			return errors.New("femachine: preconditioner not positive definite on machine")
+		}
+		if rhoNext == 0 {
+			lp.converged = true
+			return nil
+		}
+		beta := rhoNext / rho
+		rho = rhoNext
+		for i := 0; i < n; i++ {
+			lp.pvec[i] = lp.rhat[i] + beta*lp.pvec[i]
+		}
+		lp.charge(2 * n)
+	}
+	return ErrMaxIterations
+}
+
+// applyPrecond sets rhat = M⁻¹·r (identity copy when M = 0).
+func (lp *proc) applyPrecond() {
+	if lp.m.cfg.M == 0 {
+		n := 2 * lp.nOwn
+		copy(lp.rhat[:n], lp.r)
+		lp.charge(n)
+		return
+	}
+	lp.msweep()
+}

@@ -1,0 +1,99 @@
+package mesh
+
+import "testing"
+
+func TestBlockFactor(t *testing.T) {
+	cases := []struct {
+		p, maxR, maxC, pr, pc int
+		ok                    bool
+	}{
+		{4, 10, 10, 2, 2, true},
+		{6, 10, 10, 2, 3, true}, // near-square preferred over 1×6
+		{5, 10, 10, 1, 5, true}, // prime: strip fallback (or 5×1)
+		{9, 2, 10, 1, 9, true},  // rows capped
+		{12, 3, 3, 0, 0, false}, // impossible
+	}
+	for _, c := range cases {
+		pr, pc, ok := blockFactor(c.p, c.maxR, c.maxC)
+		if ok != c.ok {
+			t.Fatalf("blockFactor(%d,%d,%d) ok=%v want %v", c.p, c.maxR, c.maxC, ok, c.ok)
+		}
+		if !ok {
+			continue
+		}
+		if pr*pc != c.p || pr > c.maxR || pc > c.maxC {
+			t.Fatalf("blockFactor(%d,%d,%d) = %d×%d invalid", c.p, c.maxR, c.maxC, pr, pc)
+		}
+		if min(pr, pc) < min(c.pr, c.pc) {
+			t.Fatalf("blockFactor(%d,%d,%d) = %d×%d less square than %d×%d",
+				c.p, c.maxR, c.maxC, pr, pc, c.pr, c.pc)
+		}
+	}
+}
+
+func TestBlocksPartitionCoversAndBalances(t *testing.T) {
+	// 12 rows × 12 free columns, 4 processors: 2×2 blocks of 6×6 nodes,
+	// color-balanced (each 6×6 block has 12 of each color).
+	g := NewGrid(12, 13)
+	pt, err := NewPartition(g, LeftEdgeClamped, 4, Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for q := 0; q < 4; q++ {
+		if len(pt.Nodes[q]) != 36 {
+			t.Fatalf("proc %d owns %d nodes, want 36", q, len(pt.Nodes[q]))
+		}
+		total += len(pt.Nodes[q])
+	}
+	if total != 144 {
+		t.Fatalf("covered %d nodes", total)
+	}
+	if !pt.IsColorBalanced() {
+		t.Fatalf("blocks not color balanced: %v", pt.ColorBalance())
+	}
+}
+
+func TestBlocksNeighborsAreLocal(t *testing.T) {
+	// In a 3×3 block tiling, a processor talks only to the ≤8 processors
+	// of adjacent blocks (the machine's local-links assumption).
+	g := NewGrid(9, 10)
+	pt, err := NewPartition(g, LeftEdgeClamped, 9, Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 9; p++ {
+		pr, pc := p/3, p%3
+		for _, q := range pt.NeighborProcs(p) {
+			qr, qc := q/3, q%3
+			dr, dc := qr-pr, qc-pc
+			if dr < -1 || dr > 1 || dc < -1 || dc > 1 {
+				t.Fatalf("proc %d (%d,%d) talks to non-adjacent %d (%d,%d)", p, pr, pc, q, qr, qc)
+			}
+		}
+	}
+}
+
+func TestBlocksImpossibleRejected(t *testing.T) {
+	g := NewGrid(3, 4) // 3 rows, 3 free columns
+	if _, err := NewPartition(g, LeftEdgeClamped, 12, Blocks); err == nil {
+		t.Fatal("12 blocks on 3×3 accepted")
+	}
+}
+
+func TestBlocksOnFEMachine(t *testing.T) {
+	// Blocks must produce valid partitions that the strategy consumers
+	// (femachine) can use: check halo/border consistency.
+	g := NewGrid(8, 9)
+	pt, err := NewPartition(g, LeftEdgeClamped, 4, Blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		for _, q := range pt.NeighborProcs(p) {
+			if len(pt.BorderNodes(p, q)) == 0 {
+				t.Fatalf("empty border %d->%d", p, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Domain is an irregular region: a subset of the grid's cells. The paper's
+// §5 notes that applying the method to irregular regions "remains a
+// problem" because the grid must be colored; this type plus GreedyColoring
+// and NewGeneralOrdering implement that extension.
+type Domain struct {
+	Grid   Grid
+	active []bool // per cell, index ci*(Cols-1)+cj
+}
+
+// NewDomain builds a domain from a cell predicate. It panics if no cell is
+// active (programming error).
+func NewDomain(g Grid, activeCell func(ci, cj int) bool) Domain {
+	d := Domain{Grid: g, active: make([]bool, (g.Rows-1)*(g.Cols-1))}
+	any := false
+	for ci := 0; ci < g.Rows-1; ci++ {
+		for cj := 0; cj < g.Cols-1; cj++ {
+			if activeCell(ci, cj) {
+				d.active[ci*(g.Cols-1)+cj] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		panic("mesh: domain has no active cells")
+	}
+	return d
+}
+
+// FullDomain activates every cell (the paper's rectangular plate).
+func FullDomain(g Grid) Domain {
+	return NewDomain(g, func(ci, cj int) bool { return true })
+}
+
+// LShapedDomain removes the upper-right quadrant of cells.
+func LShapedDomain(g Grid) Domain {
+	return NewDomain(g, func(ci, cj int) bool {
+		return ci < (g.Rows-1)/2 || cj < (g.Cols-1)/2
+	})
+}
+
+// DomainWithHole removes a centered block of cells.
+func DomainWithHole(g Grid, holeFrac float64) Domain {
+	cr, cc := g.Rows-1, g.Cols-1
+	hr := int(float64(cr) * holeFrac / 2)
+	hc := int(float64(cc) * holeFrac / 2)
+	return NewDomain(g, func(ci, cj int) bool {
+		inHoleRows := ci >= cr/2-hr && ci < cr/2+hr
+		inHoleCols := cj >= cc/2-hc && cj < cc/2+hc
+		return !(inHoleRows && inHoleCols)
+	})
+}
+
+// CellActive reports whether cell (ci, cj) is in the domain.
+func (d Domain) CellActive(ci, cj int) bool {
+	if ci < 0 || ci >= d.Grid.Rows-1 || cj < 0 || cj >= d.Grid.Cols-1 {
+		return false
+	}
+	return d.active[ci*(d.Grid.Cols-1)+cj]
+}
+
+// NumActiveCells returns the active cell count.
+func (d Domain) NumActiveCells() int {
+	n := 0
+	for _, a := range d.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Triangles returns the two triangles of every active cell.
+func (d Domain) Triangles() []Triangle {
+	g := d.Grid
+	var out []Triangle
+	for ci := 0; ci < g.Rows-1; ci++ {
+		for cj := 0; cj < g.Cols-1; cj++ {
+			if !d.CellActive(ci, cj) {
+				continue
+			}
+			sw := g.NodeID(ci, cj)
+			se := g.NodeID(ci, cj+1)
+			ne := g.NodeID(ci+1, cj+1)
+			nw := g.NodeID(ci+1, cj)
+			out = append(out, Triangle{sw, se, ne}, Triangle{sw, ne, nw})
+		}
+	}
+	return out
+}
+
+// ActiveNodes returns the natural ids of nodes touched by at least one
+// active cell, ascending.
+func (d Domain) ActiveNodes() []int {
+	seen := map[int]bool{}
+	for _, tr := range d.Triangles() {
+		for _, id := range tr {
+			seen[id] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Adjacency returns, for each active node (indexed by its position in
+// ActiveNodes), the positions of the nodes it shares a triangle with.
+func (d Domain) Adjacency() (nodes []int, adj [][]int) {
+	nodes = d.ActiveNodes()
+	pos := make(map[int]int, len(nodes))
+	for k, id := range nodes {
+		pos[id] = k
+	}
+	set := make([]map[int]bool, len(nodes))
+	for i := range set {
+		set[i] = map[int]bool{}
+	}
+	for _, tr := range d.Triangles() {
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				if a != b {
+					set[pos[tr[a]]][pos[tr[b]]] = true
+				}
+			}
+		}
+	}
+	adj = make([][]int, len(nodes))
+	for i, s := range set {
+		for j := range s {
+			adj[i] = append(adj[i], j)
+		}
+		sort.Ints(adj[i])
+	}
+	return nodes, adj
+}
+
+// GreedyColoring colors a graph (adjacency lists over 0..n−1) with the
+// smallest-available-color heuristic in index order. It returns the
+// per-node colors and the number of colors used. For the triangulated
+// domains here it typically finds the optimal 3 or 4 colors.
+func GreedyColoring(adj [][]int) (colors []int, numColors int) {
+	n := len(adj)
+	colors = make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	taken := make([]bool, n+1)
+	for v := 0; v < n; v++ {
+		for _, u := range adj[v] {
+			if c := colors[u]; c >= 0 {
+				taken[c] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+		for _, u := range adj[v] {
+			if cc := colors[u]; cc >= 0 {
+				taken[cc] = false
+			}
+		}
+	}
+	return colors, numColors
+}
+
+// VerifyGraphColoring checks that no adjacent pair shares a color.
+func VerifyGraphColoring(adj [][]int, colors []int) error {
+	for v, nbs := range adj {
+		for _, u := range nbs {
+			if colors[v] == colors[u] {
+				return fmt.Errorf("mesh: adjacent nodes %d and %d share color %d", v, u, colors[v])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullDomainMatchesGrid(t *testing.T) {
+	g := NewGrid(5, 6)
+	d := FullDomain(g)
+	if d.NumActiveCells() != 4*5 {
+		t.Fatalf("active cells = %d", d.NumActiveCells())
+	}
+	if len(d.Triangles()) != len(g.Triangles()) {
+		t.Fatal("full domain triangle count differs from grid")
+	}
+	if len(d.ActiveNodes()) != g.NumNodes() {
+		t.Fatal("full domain should touch all nodes")
+	}
+}
+
+func TestLShapedDomain(t *testing.T) {
+	g := NewGrid(7, 7)
+	d := LShapedDomain(g)
+	if d.NumActiveCells() >= 36 || d.NumActiveCells() == 0 {
+		t.Fatalf("L-shape cells = %d", d.NumActiveCells())
+	}
+	// Upper-right quadrant cells inactive.
+	if d.CellActive(5, 5) {
+		t.Fatal("upper-right cell active")
+	}
+	if !d.CellActive(0, 0) || !d.CellActive(5, 0) || !d.CellActive(0, 5) {
+		t.Fatal("arm cells inactive")
+	}
+	// The NE corner node of the grid is untouched.
+	nodes := d.ActiveNodes()
+	for _, id := range nodes {
+		if id == g.NodeID(6, 6) {
+			t.Fatal("NE corner node should be inactive")
+		}
+	}
+}
+
+func TestDomainWithHole(t *testing.T) {
+	g := NewGrid(9, 9)
+	d := DomainWithHole(g, 0.5)
+	if d.NumActiveCells() >= 64 {
+		t.Fatal("hole removed nothing")
+	}
+	if d.CellActive(4, 4) {
+		t.Fatal("center cell should be in the hole")
+	}
+}
+
+func TestCellActiveOutOfRange(t *testing.T) {
+	d := FullDomain(NewGrid(3, 3))
+	if d.CellActive(-1, 0) || d.CellActive(0, 5) {
+		t.Fatal("out-of-range cells reported active")
+	}
+}
+
+func TestNewDomainEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDomain(NewGrid(3, 3), func(ci, cj int) bool { return false })
+}
+
+func TestAdjacencySymmetricAndMatchesTriangles(t *testing.T) {
+	d := LShapedDomain(NewGrid(6, 6))
+	nodes, adj := d.Adjacency()
+	if len(nodes) != len(adj) {
+		t.Fatal("lengths differ")
+	}
+	for v, nbs := range adj {
+		for _, u := range nbs {
+			found := false
+			for _, w := range adj[u] {
+				if w == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d-%d", v, u)
+			}
+		}
+	}
+}
+
+func TestGreedyColoringValidOnDomains(t *testing.T) {
+	f := func(r, c uint8, shape uint8) bool {
+		g := NewGrid(3+int(r)%8, 3+int(c)%8)
+		var d Domain
+		switch shape % 3 {
+		case 0:
+			d = FullDomain(g)
+		case 1:
+			d = LShapedDomain(g)
+		default:
+			d = DomainWithHole(g, 0.4)
+		}
+		_, adj := d.Adjacency()
+		colors, nc := GreedyColoring(adj)
+		if VerifyGraphColoring(adj, colors) != nil {
+			return false
+		}
+		// Triangulated planar graphs need >= 3 and greedy stays small.
+		return nc >= 3 && nc <= 6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyColoringTrivialGraphs(t *testing.T) {
+	// No edges: one color.
+	colors, nc := GreedyColoring(make([][]int, 4))
+	if nc != 1 {
+		t.Fatalf("edgeless graph used %d colors", nc)
+	}
+	for _, c := range colors {
+		if c != 0 {
+			t.Fatal("edgeless graph should be monochrome")
+		}
+	}
+	// Path graph: two colors.
+	_, nc = GreedyColoring([][]int{{1}, {0, 2}, {1}})
+	if nc != 2 {
+		t.Fatalf("path used %d colors", nc)
+	}
+}
+
+func TestVerifyGraphColoringDetectsConflict(t *testing.T) {
+	adj := [][]int{{1}, {0}}
+	if err := VerifyGraphColoring(adj, []int{0, 0}); err == nil {
+		t.Fatal("conflict not detected")
+	}
+	if err := VerifyGraphColoring(adj, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralOrderingIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numFree := 1 + rng.Intn(40)
+		numColors := 1 + rng.Intn(5)
+		cols := make([]int, numFree)
+		for i := range cols {
+			cols[i] = rng.Intn(numColors)
+		}
+		o, err := NewGeneralOrdering(numFree, func(k int) int { return cols[k] }, numColors)
+		if err != nil {
+			return false
+		}
+		if !o.Perm.Valid() || len(o.Perm) != 2*numFree {
+			return false
+		}
+		// Group boundaries consistent with colors.
+		for g := 0; g < 2*numColors; g++ {
+			for k := o.GroupStart[g]; k < o.GroupStart[g+1]; k++ {
+				if cols[o.NodeOfNew[k]] != g/2 || o.CompOfNew[k] != g%2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralOrderingErrors(t *testing.T) {
+	if _, err := NewGeneralOrdering(3, func(int) int { return 0 }, 0); err == nil {
+		t.Fatal("zero colors accepted")
+	}
+	if _, err := NewGeneralOrdering(3, func(int) int { return 7 }, 2); err == nil {
+		t.Fatal("out-of-range color accepted")
+	}
+}
+
+func TestGeneralOrderingMatchesSixColorOnFullGrid(t *testing.T) {
+	// On the full rectangular plate, the general ordering with the
+	// structured coloring must reproduce the specialized 6-color ordering.
+	g := NewGrid(5, 5)
+	free := g.FreeNodes(LeftEdgeClamped)
+	spec := g.NewMulticolorOrdering(free)
+	gen, err := NewGeneralOrdering(len(free), func(k int) int {
+		return int(g.ColorOfID(free[k]))
+	}, NumColors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Perm) != len(spec.Perm) {
+		t.Fatal("sizes differ")
+	}
+	for i := range gen.Perm {
+		if gen.Perm[i] != spec.Perm[i] {
+			t.Fatalf("perm differs at %d: %d vs %d", i, gen.Perm[i], spec.Perm[i])
+		}
+	}
+	for g2 := 0; g2 <= 2*NumColors; g2++ {
+		if gen.GroupStart[g2] != spec.GroupStart[g2] {
+			t.Fatal("group boundaries differ")
+		}
+	}
+}

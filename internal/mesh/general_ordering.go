@@ -1,0 +1,57 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// GeneralOrdering is the multicolor unknown ordering for an arbitrary node
+// coloring with k colors: 2k unknown groups (color × displacement
+// component), generalizing the 6-color ordering of the rectangular plate.
+type GeneralOrdering struct {
+	NumColors  int
+	Perm       sparse.Perm // perm[new] = old reduced-dof index
+	GroupStart []int       // len 2*NumColors+1
+	NodeOfNew  []int
+	CompOfNew  []int
+}
+
+// NewGeneralOrdering orders the unknowns of the free nodes (each carrying
+// components 0 and 1) by (color, component) groups, preserving free-list
+// order within a group. colorOf maps a free-list position to its node
+// color in [0, numColors).
+func NewGeneralOrdering(numFree int, colorOf func(freeIdx int) int, numColors int) (*GeneralOrdering, error) {
+	if numColors < 1 {
+		return nil, fmt.Errorf("mesh: general ordering needs >= 1 color, got %d", numColors)
+	}
+	o := &GeneralOrdering{
+		NumColors:  numColors,
+		Perm:       make(sparse.Perm, 0, 2*numFree),
+		GroupStart: make([]int, 2*numColors+1),
+		NodeOfNew:  make([]int, 0, 2*numFree),
+		CompOfNew:  make([]int, 0, 2*numFree),
+	}
+	for g := 0; g < 2*numColors; g++ {
+		o.GroupStart[g] = len(o.Perm)
+		color := g / 2
+		comp := g % 2
+		for k := 0; k < numFree; k++ {
+			c := colorOf(k)
+			if c < 0 || c >= numColors {
+				return nil, fmt.Errorf("mesh: free node %d has color %d outside [0,%d)", k, c, numColors)
+			}
+			if c != color {
+				continue
+			}
+			o.Perm = append(o.Perm, 2*k+comp)
+			o.NodeOfNew = append(o.NodeOfNew, k)
+			o.CompOfNew = append(o.CompOfNew, comp)
+		}
+	}
+	o.GroupStart[2*numColors] = len(o.Perm)
+	if len(o.Perm) != 2*numFree {
+		return nil, fmt.Errorf("mesh: ordering covered %d of %d unknowns", len(o.Perm), 2*numFree)
+	}
+	return o, nil
+}

@@ -1,0 +1,156 @@
+// Package mesh models the paper's test domain: a rectangular plate
+// discretized with linear triangular elements, its Red/Black/Green node
+// coloring (Figure 1), the resulting 6-color unknown ordering that decouples
+// the plane-stress system into the block form of eq. (3.1), and the
+// node-to-processor partitionings used on the Finite Element Machine
+// (Figures 3 and 5).
+package mesh
+
+import "fmt"
+
+// Color is a node color in the 3-coloring of the triangulated grid.
+type Color int
+
+// The three node colors of Figure 1. A node at row i, column j has color
+// (i+j) mod 3, which gives every triangle three distinct colors.
+const (
+	Red Color = iota
+	Black
+	Green
+)
+
+func (c Color) String() string {
+	switch c {
+	case Red:
+		return "R"
+	case Black:
+		return "B"
+	case Green:
+		return "G"
+	}
+	return "?"
+}
+
+// NumColors is the number of node colors; with the two displacement
+// components u and v per node the system has 2*NumColors = 6 unknown colors.
+const NumColors = 3
+
+// Grid is an a×(b+1)-node rectangular plate: Rows rows of nodes and Cols
+// columns of nodes. Following the paper, the leftmost column (j = 0) is the
+// constrained edge by default, so Cols = b+1 where b is the paper's "number
+// of columns of unconstrained nodes".
+type Grid struct {
+	Rows, Cols int
+}
+
+// NewGrid returns a grid with the given node counts; it panics if either
+// dimension is less than 2 (no elements would exist).
+func NewGrid(rows, cols int) Grid {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("mesh: grid needs at least 2×2 nodes, got %d×%d", rows, cols))
+	}
+	return Grid{Rows: rows, Cols: cols}
+}
+
+// NumNodes returns the total node count Rows*Cols.
+func (g Grid) NumNodes() int { return g.Rows * g.Cols }
+
+// NodeID maps (row, col) to the natural node index, bottom-to-top,
+// left-to-right within a row.
+func (g Grid) NodeID(i, j int) int {
+	if i < 0 || i >= g.Rows || j < 0 || j >= g.Cols {
+		panic(fmt.Sprintf("mesh: node (%d,%d) outside %d×%d grid", i, j, g.Rows, g.Cols))
+	}
+	return i*g.Cols + j
+}
+
+// NodeRC inverts NodeID.
+func (g Grid) NodeRC(id int) (i, j int) {
+	return id / g.Cols, id % g.Cols
+}
+
+// ColorOf returns the color of node (i, j).
+func (g Grid) ColorOf(i, j int) Color { return Color((i + j) % NumColors) }
+
+// ColorOfID returns the color of a node given its natural index.
+func (g Grid) ColorOfID(id int) Color {
+	i, j := g.NodeRC(id)
+	return g.ColorOf(i, j)
+}
+
+// XY returns the coordinates of node (i, j) on the unit square: column j
+// gives x, row i gives y.
+func (g Grid) XY(i, j int) (x, y float64) {
+	return float64(j) / float64(g.Cols-1), float64(i) / float64(g.Rows-1)
+}
+
+// Triangle is a triangular element given by its three node ids in
+// counterclockwise order.
+type Triangle [3]int
+
+// Triangles enumerates the two triangles per grid cell. Each cell
+// (i, j)→(i+1, j+1) is split along the SW–NE diagonal:
+//
+//	lower: (i,j) (i,j+1) (i+1,j+1)
+//	upper: (i,j) (i+1,j+1) (i+1,j)
+//
+// This split yields the paper's Figure 2 stencil: every interior node
+// couples to its E, W, N, S, NE and SW neighbors (6 neighbors, so 7 nodes
+// × 2 components = 14 potential nonzeros per equation).
+func (g Grid) Triangles() []Triangle {
+	tris := make([]Triangle, 0, 2*(g.Rows-1)*(g.Cols-1))
+	for i := 0; i < g.Rows-1; i++ {
+		for j := 0; j < g.Cols-1; j++ {
+			sw := g.NodeID(i, j)
+			se := g.NodeID(i, j+1)
+			ne := g.NodeID(i+1, j+1)
+			nw := g.NodeID(i+1, j)
+			tris = append(tris, Triangle{sw, se, ne}, Triangle{sw, ne, nw})
+		}
+	}
+	return tris
+}
+
+// stencilOffsets lists the (di, dj) of the 6 neighbors in the Figure 2
+// stencil.
+var stencilOffsets = [6][2]int{
+	{0, 1}, {0, -1}, {1, 0}, {-1, 0}, {1, 1}, {-1, -1},
+}
+
+// Neighbors returns the natural ids of the in-grid stencil neighbors of
+// node (i, j), in a fixed deterministic order.
+func (g Grid) Neighbors(i, j int) []int {
+	out := make([]int, 0, 6)
+	for _, d := range stencilOffsets {
+		ni, nj := i+d[0], j+d[1]
+		if ni >= 0 && ni < g.Rows && nj >= 0 && nj < g.Cols {
+			out = append(out, g.NodeID(ni, nj))
+		}
+	}
+	return out
+}
+
+// VerifyColoring checks that every triangle has three distinct node colors
+// — the decoupling property the multicolor ordering relies on. It returns
+// an error naming the first offending triangle.
+func (g Grid) VerifyColoring() error {
+	for _, tr := range g.Triangles() {
+		c0 := g.ColorOfID(tr[0])
+		c1 := g.ColorOfID(tr[1])
+		c2 := g.ColorOfID(tr[2])
+		if c0 == c1 || c0 == c2 || c1 == c2 {
+			return fmt.Errorf("mesh: triangle %v has colors %v/%v/%v", tr, c0, c1, c2)
+		}
+	}
+	return nil
+}
+
+// ColorCounts returns how many nodes of each color appear among the given
+// node ids.
+func (g Grid) ColorCounts(nodes []int) [NumColors]int {
+	var out [NumColors]int
+	for _, id := range nodes {
+		out[g.ColorOfID(id)]++
+	}
+	return out
+}

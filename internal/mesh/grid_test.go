@@ -1,0 +1,182 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	g := NewGrid(4, 7)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			id := g.NodeID(i, j)
+			ri, rj := g.NodeRC(id)
+			if ri != i || rj != j {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", i, j, id, ri, rj)
+			}
+		}
+	}
+}
+
+func TestNodeIDBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid(3, 3).NodeID(3, 0)
+}
+
+func TestNewGridTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid(1, 5)
+}
+
+func TestTriangleCount(t *testing.T) {
+	g := NewGrid(3, 4)
+	if got, want := len(g.Triangles()), 2*2*3; got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+func TestColoringValidOnRandomGrids(t *testing.T) {
+	f := func(r, c uint8) bool {
+		rows := 2 + int(r)%20
+		cols := 2 + int(c)%20
+		g := NewGrid(rows, cols)
+		return g.VerifyColoring() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorOfPattern(t *testing.T) {
+	g := NewGrid(3, 3)
+	// (0,0)=R, (0,1)=B, (0,2)=G; next row shifts by one.
+	if g.ColorOf(0, 0) != Red || g.ColorOf(0, 1) != Black || g.ColorOf(0, 2) != Green {
+		t.Fatal("row coloring wrong")
+	}
+	if g.ColorOf(1, 0) != Black || g.ColorOf(2, 0) != Green {
+		t.Fatal("column coloring wrong")
+	}
+}
+
+func TestNeighborsInterior(t *testing.T) {
+	g := NewGrid(5, 5)
+	nb := g.Neighbors(2, 2)
+	if len(nb) != 6 {
+		t.Fatalf("interior node should have 6 neighbors, got %d", len(nb))
+	}
+	// All neighbors differ in color from the center.
+	cc := g.ColorOf(2, 2)
+	for _, id := range nb {
+		if g.ColorOfID(id) == cc {
+			t.Fatalf("neighbor %d shares color %v with center", id, cc)
+		}
+	}
+}
+
+func TestNeighborsCorner(t *testing.T) {
+	g := NewGrid(5, 5)
+	// SW corner (0,0) has E, N, NE.
+	if got := len(g.Neighbors(0, 0)); got != 3 {
+		t.Fatalf("SW corner neighbors = %d, want 3", got)
+	}
+	// NW corner (Rows-1, 0) has E and S only (no NE/SW in grid, no W/N).
+	if got := len(g.Neighbors(4, 0)); got != 2 {
+		t.Fatalf("NW corner neighbors = %d, want 2", got)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	g := NewGrid(6, 7)
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			id := g.NodeID(i, j)
+			for _, nb := range g.Neighbors(i, j) {
+				ni, nj := g.NodeRC(nb)
+				found := false
+				for _, back := range g.Neighbors(ni, nj) {
+					if back == id {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("stencil not symmetric: %d -> %d", id, nb)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborsMatchTriangles(t *testing.T) {
+	// Two nodes are stencil neighbors iff they share a triangle.
+	g := NewGrid(5, 6)
+	shares := map[[2]int]bool{}
+	for _, tr := range g.Triangles() {
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				if a != b {
+					shares[[2]int{tr[a], tr[b]}] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < g.Rows; i++ {
+		for j := 0; j < g.Cols; j++ {
+			id := g.NodeID(i, j)
+			nbs := map[int]bool{}
+			for _, nb := range g.Neighbors(i, j) {
+				nbs[nb] = true
+				if !shares[[2]int{id, nb}] {
+					t.Fatalf("stencil neighbor %d-%d share no triangle", id, nb)
+				}
+			}
+			for pair := range shares {
+				if pair[0] == id && !nbs[pair[1]] {
+					t.Fatalf("triangle neighbor %d-%d missing from stencil", id, pair[1])
+				}
+			}
+		}
+	}
+}
+
+func TestXYCorners(t *testing.T) {
+	g := NewGrid(3, 5)
+	if x, y := g.XY(0, 0); x != 0 || y != 0 {
+		t.Fatalf("XY(0,0) = (%v,%v)", x, y)
+	}
+	if x, y := g.XY(2, 4); x != 1 || y != 1 {
+		t.Fatalf("XY(max) = (%v,%v)", x, y)
+	}
+}
+
+func TestColorCountsBalancedGrid(t *testing.T) {
+	// A 3×3 block of columns has exactly equal colors per row set.
+	g := NewGrid(3, 3)
+	all := make([]int, 0, 9)
+	for id := 0; id < 9; id++ {
+		all = append(all, id)
+	}
+	counts := g.ColorCounts(all)
+	if counts[Red] != 3 || counts[Black] != 3 || counts[Green] != 3 {
+		t.Fatalf("ColorCounts = %v", counts)
+	}
+}
+
+func TestColorString(t *testing.T) {
+	if Red.String() != "R" || Black.String() != "B" || Green.String() != "G" {
+		t.Fatal("color names wrong")
+	}
+	if Color(9).String() != "?" {
+		t.Fatal("unknown color should print ?")
+	}
+}
+
+var _ = rand.Int // keep rand import if quick seeds change

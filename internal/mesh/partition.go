@@ -1,0 +1,244 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition assigns the free nodes of a grid to P processors, mirroring the
+// Finite Element Machine assignments of Figures 3 and 5: each processor
+// receives a rectangle of nodes, and for the paper's configurations every
+// processor holds an equal number of Red, Black and Green unconstrained
+// nodes.
+type Partition struct {
+	Grid Grid
+	P    int
+	// Owner[nodeID] is the owning processor, or -1 for constrained nodes.
+	Owner []int
+	// Nodes[p] lists the natural ids owned by processor p, natural order.
+	Nodes [][]int
+}
+
+// Strategy selects how the free columns/rows are divided among processors.
+type Strategy int
+
+const (
+	// RowStrips divides the grid into P horizontal bands of rows
+	// (Figure 5's two-processor assignment: top half / bottom half).
+	RowStrips Strategy = iota
+	// ColStrips divides the free columns into P vertical strips
+	// (Figure 5's five-processor assignment: one free column each).
+	ColStrips
+	// Blocks tiles the grid with a near-square pr×pc processor array
+	// (Figure 3's rectangular assignments). P must factor as pr·pc with
+	// pr ≤ rows and pc ≤ free columns; the factorization closest to
+	// square is chosen.
+	Blocks
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RowStrips:
+		return "row-strips"
+	case ColStrips:
+		return "col-strips"
+	case Blocks:
+		return "blocks"
+	}
+	return "?"
+}
+
+// blockFactor picks the factorization p = pr·pc closest to square with
+// pr ≤ maxR and pc ≤ maxC; ok is false when none exists.
+func blockFactor(p, maxR, maxC int) (pr, pc int, ok bool) {
+	best := -1
+	for r := 1; r <= p; r++ {
+		if p%r != 0 {
+			continue
+		}
+		c := p / r
+		if r > maxR || c > maxC {
+			continue
+		}
+		score := min(r, c) // prefer near-square
+		if score > best {
+			best, pr, pc = score, r, c
+		}
+	}
+	return pr, pc, best >= 0
+}
+
+// NewPartition divides the free nodes among P processors using the given
+// strategy. It returns an error when the strategy cannot give every
+// processor at least one node.
+func NewPartition(g Grid, constrained Constraint, p int, strat Strategy) (*Partition, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("mesh: partition needs P >= 1, got %d", p)
+	}
+	free := g.FreeNodes(constrained)
+	if len(free) < p {
+		return nil, fmt.Errorf("mesh: %d free nodes cannot feed %d processors", len(free), p)
+	}
+	part := &Partition{Grid: g, P: p, Owner: make([]int, g.NumNodes()), Nodes: make([][]int, p)}
+	for i := range part.Owner {
+		part.Owner[i] = -1
+	}
+	switch strat {
+	case RowStrips:
+		// Band rows: processor q owns rows [q*Rows/P, (q+1)*Rows/P).
+		if g.Rows < p {
+			return nil, fmt.Errorf("mesh: %d rows cannot form %d row strips", g.Rows, p)
+		}
+		for _, id := range free {
+			i, _ := g.NodeRC(id)
+			q := i * p / g.Rows
+			part.Owner[id] = q
+		}
+	case ColStrips:
+		// Strip the *free* columns: build the sorted list of columns that
+		// contain at least one free node and divide it evenly.
+		colSet := map[int]bool{}
+		for _, id := range free {
+			_, j := g.NodeRC(id)
+			colSet[j] = true
+		}
+		cols := make([]int, 0, len(colSet))
+		for j := range colSet {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		if len(cols) < p {
+			return nil, fmt.Errorf("mesh: %d free columns cannot form %d column strips", len(cols), p)
+		}
+		colOwner := map[int]int{}
+		for k, j := range cols {
+			colOwner[j] = k * p / len(cols)
+		}
+		for _, id := range free {
+			_, j := g.NodeRC(id)
+			part.Owner[id] = colOwner[j]
+		}
+	case Blocks:
+		// Tile rows × free columns with a near-square processor array.
+		colSet := map[int]bool{}
+		for _, id := range free {
+			_, j := g.NodeRC(id)
+			colSet[j] = true
+		}
+		cols := make([]int, 0, len(colSet))
+		for j := range colSet {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		pr, pc, ok := blockFactor(p, g.Rows, len(cols))
+		if !ok {
+			return nil, fmt.Errorf("mesh: cannot tile %d rows × %d free columns with %d blocks", g.Rows, len(cols), p)
+		}
+		colBlock := map[int]int{}
+		for k, j := range cols {
+			colBlock[j] = k * pc / len(cols)
+		}
+		for _, id := range free {
+			i, j := g.NodeRC(id)
+			part.Owner[id] = (i*pr/g.Rows)*pc + colBlock[j]
+		}
+	default:
+		return nil, fmt.Errorf("mesh: unknown partition strategy %d", strat)
+	}
+	for _, id := range free {
+		q := part.Owner[id]
+		part.Nodes[q] = append(part.Nodes[q], id)
+	}
+	for q := 0; q < p; q++ {
+		if len(part.Nodes[q]) == 0 {
+			return nil, fmt.Errorf("mesh: processor %d received no nodes", q)
+		}
+	}
+	return part, nil
+}
+
+// NeighborProcs returns, for processor p, the sorted set of other
+// processors owning at least one stencil neighbor of p's nodes — the
+// processors p must exchange border data with on the Finite Element
+// Machine's local links.
+func (pt *Partition) NeighborProcs(p int) []int {
+	seen := map[int]bool{}
+	for _, id := range pt.Nodes[p] {
+		i, j := pt.Grid.NodeRC(id)
+		for _, nb := range pt.Grid.Neighbors(i, j) {
+			q := pt.Owner[nb]
+			if q >= 0 && q != p {
+				seen[q] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BorderNodes returns the nodes owned by p that some node of q depends on
+// (i.e. the values p must send to q each exchange), in natural order.
+func (pt *Partition) BorderNodes(p, q int) []int {
+	seen := map[int]bool{}
+	for _, id := range pt.Nodes[q] {
+		i, j := pt.Grid.NodeRC(id)
+		for _, nb := range pt.Grid.Neighbors(i, j) {
+			if pt.Owner[nb] == p {
+				seen[nb] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HaloNodes returns the nodes NOT owned by p whose values p needs (the
+// receive side of the exchange), in natural order.
+func (pt *Partition) HaloNodes(p int) []int {
+	seen := map[int]bool{}
+	for _, id := range pt.Nodes[p] {
+		i, j := pt.Grid.NodeRC(id)
+		for _, nb := range pt.Grid.Neighbors(i, j) {
+			if q := pt.Owner[nb]; q >= 0 && q != p {
+				seen[nb] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ColorBalance returns per-processor color counts; the paper's assignments
+// give every processor identical counts, which Table 3's ideal-speedup
+// argument relies on.
+func (pt *Partition) ColorBalance() [][NumColors]int {
+	out := make([][NumColors]int, pt.P)
+	for q := 0; q < pt.P; q++ {
+		out[q] = pt.Grid.ColorCounts(pt.Nodes[q])
+	}
+	return out
+}
+
+// IsColorBalanced reports whether every processor owns the same number of
+// nodes of every color.
+func (pt *Partition) IsColorBalanced() bool {
+	bal := pt.ColorBalance()
+	for q := 1; q < pt.P; q++ {
+		if bal[q] != bal[0] {
+			return false
+		}
+	}
+	return true
+}

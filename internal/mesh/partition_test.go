@@ -1,0 +1,184 @@
+package mesh
+
+import "testing"
+
+// paperGrid is the 6×6-node, 60-equation Finite Element Machine test
+// problem (left edge clamped: 30 free nodes).
+func paperGrid() Grid { return NewGrid(6, 6) }
+
+func TestPartitionTwoProcRowStrips(t *testing.T) {
+	pt, err := NewPartition(paperGrid(), LeftEdgeClamped, 2, RowStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Nodes[0]) != 15 || len(pt.Nodes[1]) != 15 {
+		t.Fatalf("node split %d/%d, want 15/15", len(pt.Nodes[0]), len(pt.Nodes[1]))
+	}
+	if !pt.IsColorBalanced() {
+		t.Fatalf("two-processor assignment not color balanced: %v", pt.ColorBalance())
+	}
+	// Paper: each processor has 5 R, 5 B, 5 G.
+	bal := pt.ColorBalance()
+	if bal[0][Red] != 5 || bal[0][Black] != 5 || bal[0][Green] != 5 {
+		t.Fatalf("color counts %v, want 5 each", bal[0])
+	}
+}
+
+func TestPartitionFiveProcColStrips(t *testing.T) {
+	pt, err := NewPartition(paperGrid(), LeftEdgeClamped, 5, ColStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 5; q++ {
+		if len(pt.Nodes[q]) != 6 {
+			t.Fatalf("proc %d owns %d nodes, want 6", q, len(pt.Nodes[q]))
+		}
+	}
+	if !pt.IsColorBalanced() {
+		t.Fatalf("five-processor assignment not color balanced: %v", pt.ColorBalance())
+	}
+	// Paper: each processor has 2 R, 2 B, 2 G.
+	bal := pt.ColorBalance()
+	if bal[0][Red] != 2 || bal[0][Black] != 2 || bal[0][Green] != 2 {
+		t.Fatalf("color counts %v, want 2 each", bal[0])
+	}
+}
+
+func TestPartitionSingleProc(t *testing.T) {
+	pt, err := NewPartition(paperGrid(), LeftEdgeClamped, 1, RowStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Nodes[0]) != 30 {
+		t.Fatalf("single proc owns %d nodes", len(pt.Nodes[0]))
+	}
+	if len(pt.NeighborProcs(0)) != 0 {
+		t.Fatal("single proc should have no neighbors")
+	}
+	if len(pt.HaloNodes(0)) != 0 {
+		t.Fatal("single proc should need no halo")
+	}
+}
+
+func TestPartitionCoversExactlyFreeNodes(t *testing.T) {
+	g := NewGrid(8, 9)
+	pt, err := NewPartition(g, LeftEdgeClamped, 4, RowStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for q := 0; q < pt.P; q++ {
+		total += len(pt.Nodes[q])
+		for _, id := range pt.Nodes[q] {
+			if pt.Owner[id] != q {
+				t.Fatalf("node %d owner mismatch", id)
+			}
+		}
+	}
+	if total != len(g.FreeNodes(LeftEdgeClamped)) {
+		t.Fatalf("partition covers %d nodes, want %d", total, len(g.FreeNodes(LeftEdgeClamped)))
+	}
+	for _, id := range g.FreeNodes(NoConstraint) {
+		_, j := g.NodeRC(id)
+		if j == 0 && pt.Owner[id] != -1 {
+			t.Fatalf("constrained node %d has owner", id)
+		}
+	}
+}
+
+func TestNeighborAndBorderConsistency(t *testing.T) {
+	pt, err := NewPartition(paperGrid(), LeftEdgeClamped, 5, ColStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < pt.P; p++ {
+		for _, q := range pt.NeighborProcs(p) {
+			// If q is a neighbor of p, p must send q at least one node...
+			if len(pt.BorderNodes(p, q)) == 0 {
+				t.Fatalf("proc %d neighbor %d has empty border", p, q)
+			}
+			// ...and the relation is symmetric.
+			found := false
+			for _, r := range pt.NeighborProcs(q) {
+				if r == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation not symmetric: %d -> %d", p, q)
+			}
+		}
+	}
+}
+
+func TestHaloIsUnionOfIncomingBorders(t *testing.T) {
+	pt, err := NewPartition(paperGrid(), LeftEdgeClamped, 2, RowStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < pt.P; p++ {
+		halo := map[int]bool{}
+		for _, id := range pt.HaloNodes(p) {
+			halo[id] = true
+		}
+		union := map[int]bool{}
+		for _, q := range pt.NeighborProcs(p) {
+			for _, id := range pt.BorderNodes(q, p) {
+				union[id] = true
+			}
+		}
+		if len(halo) != len(union) {
+			t.Fatalf("proc %d: halo %d nodes, union of borders %d", p, len(halo), len(union))
+		}
+		for id := range halo {
+			if !union[id] {
+				t.Fatalf("proc %d: halo node %d not in any border", p, id)
+			}
+		}
+	}
+}
+
+func TestColStripNonAdjacentProcsDontTalk(t *testing.T) {
+	// In 1-column strips, the stencil reaches one column away, so each
+	// processor talks to adjacent strips only (the paper's Figure 5
+	// observation that processors 1 and 4 share no triangle).
+	pt, err := NewPartition(paperGrid(), LeftEdgeClamped, 5, ColStrips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 5; p++ {
+		for _, q := range pt.NeighborProcs(p) {
+			if q != p-1 && q != p+1 {
+				t.Fatalf("proc %d talks to non-adjacent proc %d", p, q)
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := paperGrid()
+	if _, err := NewPartition(g, LeftEdgeClamped, 0, RowStrips); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+	if _, err := NewPartition(g, LeftEdgeClamped, 7, RowStrips); err == nil {
+		t.Fatal("7 row strips of 6 rows accepted")
+	}
+	if _, err := NewPartition(g, LeftEdgeClamped, 6, ColStrips); err == nil {
+		t.Fatal("6 col strips of 5 free columns accepted")
+	}
+	if _, err := NewPartition(g, LeftEdgeClamped, 2, Strategy(99)); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := NewPartition(g, LeftEdgeClamped, 31, ColStrips); err == nil {
+		t.Fatal("more processors than nodes accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if RowStrips.String() != "row-strips" || ColStrips.String() != "col-strips" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(42).String() != "?" {
+		t.Fatal("unknown strategy name")
+	}
+}

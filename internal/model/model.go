@@ -1,0 +1,96 @@
+// Package model provides auxiliary model problems used by tests, examples
+// and ablation benchmarks: the 2-D Poisson 5-point operator (the classical
+// setting for Jacobi/Neumann-series preconditioners of Dubois, Greenbaum
+// and Rodrigue), a 1-D Laplacian, and random diagonally dominant SPD
+// matrices for property-based testing. The paper's own plane-stress test
+// problem lives in internal/fem.
+package model
+
+import (
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Poisson2D returns the nx×ny 5-point Laplacian (Dirichlet boundary,
+// h-scaled out): 4 on the diagonal, −1 to each grid neighbor. The matrix is
+// SPD with eigenvalues in (0, 8).
+func Poisson2D(nx, ny int) *sparse.CSR {
+	n := nx * ny
+	c := sparse.NewCOO(n, n)
+	idx := func(i, j int) int { return i*nx + j }
+	for i := 0; i < ny; i++ {
+		for j := 0; j < nx; j++ {
+			row := idx(i, j)
+			c.Add(row, row, 4)
+			if j > 0 {
+				c.Add(row, idx(i, j-1), -1)
+			}
+			if j < nx-1 {
+				c.Add(row, idx(i, j+1), -1)
+			}
+			if i > 0 {
+				c.Add(row, idx(i-1, j), -1)
+			}
+			if i < ny-1 {
+				c.Add(row, idx(i+1, j), -1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// Laplacian1D returns the n×n tridiagonal second-difference matrix
+// tridiag(−1, 2, −1), SPD with eigenvalues 2−2cos(kπ/(n+1)).
+func Laplacian1D(n int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+// RandomSPD returns an n×n random sparse symmetric matrix made strictly
+// diagonally dominant (hence SPD), with roughly `perRow` off-diagonal
+// entries per row. Deterministic for a given rng.
+func RandomSPD(rng *rand.Rand, n, perRow int) *sparse.CSR {
+	c := sparse.NewCOO(n, n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < perRow; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			// Symmetric insertion; duplicates sum, keeping symmetry.
+			c.Add(i, j, v)
+			c.Add(j, i, v)
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			rowAbs[i] += av
+			rowAbs[j] += av
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return c.ToCSR()
+}
+
+// RandomVec returns a length-n standard normal vector.
+func RandomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

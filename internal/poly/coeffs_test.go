@@ -1,0 +1,206 @@
+package poly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOnesQIsOneMinusPower(t *testing.T) {
+	// With αᵢ = 1, q(λ) = 1 − (1−λ)^m.
+	for m := 1; m <= 6; m++ {
+		a := Ones(m)
+		q := a.Q()
+		for _, lam := range []float64{0, 0.1, 0.5, 0.9, 1, 1.7} {
+			want := 1 - math.Pow(1-lam, float64(m))
+			if got := q.Eval(lam); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("m=%d λ=%g: q=%v want %v", m, lam, got, want)
+			}
+		}
+	}
+}
+
+func TestOnesPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m=0")
+		}
+	}()
+	Ones(0)
+}
+
+func TestQZeroAtOrigin(t *testing.T) {
+	// q(0) = 0 for any coefficients: M⁻¹K annihilates nothing it shouldn't.
+	a := Alphas{Coeffs: []float64{2, -1, 0.5}}
+	if got := a.Q().Eval(0); got != 0 {
+		t.Fatalf("q(0) = %v, want 0", got)
+	}
+}
+
+func TestLeastSquaresImprovesOverOnes(t *testing.T) {
+	lo, hi := 0.05, 1.0
+	for _, m := range []int{2, 3, 4, 5} {
+		ls, err := LeastSquares(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones := Ones(m)
+		// Compare the L² residual ∫(1−q)² of both choices; LS must win.
+		resLS := residualL2(ls, lo, hi)
+		resOnes := residualL2(ones, lo, hi)
+		if resLS > resOnes+1e-12 {
+			t.Fatalf("m=%d: LS residual %g > ones residual %g", m, resLS, resOnes)
+		}
+		if !ls.PositiveOn(lo, hi) {
+			t.Fatalf("m=%d: least-squares q not positive on [%g,%g]", m, lo, hi)
+		}
+	}
+}
+
+func residualL2(a Alphas, lo, hi float64) float64 {
+	r := Poly{1}.Sub(a.Q())
+	return r.Mul(r).Integrate(lo, hi)
+}
+
+func TestLeastSquaresIsStationary(t *testing.T) {
+	// Perturbing any coefficient must not lower the residual (first-order
+	// optimality of the normal equations).
+	lo, hi := 0.1, 1.0
+	ls, err := LeastSquares(3, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := residualL2(ls, lo, hi)
+	for i := range ls.Coeffs {
+		for _, d := range []float64{1e-4, -1e-4} {
+			p := ls
+			p.Coeffs = append([]float64{}, ls.Coeffs...)
+			p.Coeffs[i] += d
+			if residualL2(p, lo, hi) < base-1e-12 {
+				t.Fatalf("perturbing α[%d] by %g lowered residual", i, d)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresM1(t *testing.T) {
+	// m=1: q(λ) = α₀λ; minimizing ∫(1−α₀λ)² over [lo,hi] has closed form
+	// α₀ = ∫λ / ∫λ².
+	lo, hi := 0.2, 1.0
+	ls, err := LeastSquares(1, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num := Poly{0, 1}.Integrate(lo, hi)
+	den := Poly{0, 0, 1}.Integrate(lo, hi)
+	want := num / den
+	if math.Abs(ls.Coeffs[0]-want) > 1e-12 {
+		t.Fatalf("α₀ = %v, want %v", ls.Coeffs[0], want)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(0, 0, 1); err == nil {
+		t.Fatal("expected error for m=0")
+	}
+	if _, err := LeastSquares(2, 1, 0.5); err == nil {
+		t.Fatal("expected error for lo >= hi")
+	}
+	if _, err := LeastSquares(2, -0.5, 1); err == nil {
+		t.Fatal("expected error for negative lo")
+	}
+}
+
+func TestChebyshevMinMaxEquioscillates(t *testing.T) {
+	lo, hi := 0.1, 1.0
+	for _, m := range []int{2, 3, 4, 5} {
+		ch, err := ChebyshevMinMax(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Residual 1−q must have max |·| = 1/T_m(μ₀) on [lo,hi].
+		r := Poly{1}.Sub(ch.Q())
+		rlo, rhi := r.MinMaxOn(lo, hi, 4000)
+		mu0 := (hi + lo) / (hi - lo)
+		want := 1 / Chebyshev(m).Eval(mu0)
+		// Sampled extrema can miss the true ones by O(step²); 1e-6 is ample.
+		if math.Abs(rhi-want) > 1e-6 || math.Abs(rlo+want) > 1e-6 {
+			t.Fatalf("m=%d residual range [%v, %v], want ±%v", m, rlo, rhi, want)
+		}
+		if !ch.PositiveOn(lo, hi) {
+			t.Fatalf("m=%d: Chebyshev q not positive", m)
+		}
+	}
+}
+
+func TestChebyshevBeatsOnesInMinMax(t *testing.T) {
+	lo, hi := 0.05, 1.0
+	for _, m := range []int{2, 3, 4} {
+		ch, err := ChebyshevMinMax(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := func(a Alphas) float64 {
+			r := Poly{1}.Sub(a.Q())
+			rlo, rhi := r.MinMaxOn(lo, hi, 4000)
+			return math.Max(math.Abs(rlo), math.Abs(rhi))
+		}
+		if worst(ch) > worst(Ones(m))+1e-12 {
+			t.Fatalf("m=%d: Chebyshev min-max residual %g worse than ones %g",
+				m, worst(ch), worst(Ones(m)))
+		}
+	}
+}
+
+func TestChebyshevMinMaxErrors(t *testing.T) {
+	if _, err := ChebyshevMinMax(0, 0.1, 1); err == nil {
+		t.Fatal("expected error for m=0")
+	}
+	if _, err := ChebyshevMinMax(2, 0, 1); err == nil {
+		t.Fatal("expected error for lo=0 (μ₀ undefined scaling)")
+	}
+	if _, err := ChebyshevMinMax(2, 1, 0.2); err == nil {
+		t.Fatal("expected error for lo > hi")
+	}
+}
+
+func TestConditionBoundImprovesWithM(t *testing.T) {
+	// The whole point of the method: κ bound of the parametrized
+	// preconditioned operator shrinks as m grows.
+	lo, hi := 0.05, 1.0
+	prev := math.Inf(1)
+	for m := 1; m <= 6; m++ {
+		ch, err := ChebyshevMinMax(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := ch.ConditionBound(lo, hi)
+		if k >= prev+1e-9 {
+			t.Fatalf("m=%d: condition bound %g did not improve on %g", m, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestConditionBoundInfWhenIndefinite(t *testing.T) {
+	// Unparametrized even m with spectrum reaching 2 ⇒ q(2) = 1−(−1)^m = 0:
+	// the classic even-m Neumann-series failure.
+	a := Ones(2)
+	if got := a.ConditionBound(0.1, 2.0); !math.IsInf(got, 1) {
+		t.Fatalf("expected +Inf condition bound, got %v", got)
+	}
+}
+
+func TestPaperTable1Shape(t *testing.T) {
+	tbl := PaperTable1()
+	for m, coeffs := range tbl {
+		if len(coeffs) != m {
+			t.Fatalf("paper Table 1 m=%d has %d coefficients", m, len(coeffs))
+		}
+		if coeffs[0] != 1.00 {
+			t.Fatalf("paper Table 1 m=%d: α₀ = %v, want 1.00", m, coeffs[0])
+		}
+	}
+	if len(tbl) != 3 {
+		t.Fatalf("paper Table 1 should list m=2,3,4; got %d entries", len(tbl))
+	}
+}

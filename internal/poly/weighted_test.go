@@ -1,0 +1,83 @@
+package poly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedUnitWeightMatchesPlain(t *testing.T) {
+	lo, hi := 0.05, 1.0
+	for _, m := range []int{2, 4} {
+		a, err := LeastSquares(m, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LeastSquaresWeighted(m, lo, hi, Poly{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Coeffs {
+			if math.Abs(a.Coeffs[i]-b.Coeffs[i]) > 1e-10*(1+math.Abs(a.Coeffs[i])) {
+				t.Fatalf("m=%d: plain %v vs unit weight %v", m, a.Coeffs, b.Coeffs)
+			}
+		}
+	}
+}
+
+func TestWeightedStationarity(t *testing.T) {
+	// First-order optimality in the weighted norm.
+	lo, hi := 0.1, 1.0
+	w := Poly{0, 1} // w(λ) = λ
+	ws, err := LeastSquaresWeighted(3, lo, hi, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := func(a Alphas) float64 {
+		r := Poly{1}.Sub(a.Q())
+		return w.Mul(r.Mul(r)).Integrate(lo, hi)
+	}
+	base := res(ws)
+	for i := range ws.Coeffs {
+		for _, d := range []float64{1e-4, -1e-4} {
+			p := ws
+			p.Coeffs = append([]float64{}, ws.Coeffs...)
+			p.Coeffs[i] += d
+			if res(p) < base-1e-12 {
+				t.Fatalf("perturbing α[%d] lowered weighted residual", i)
+			}
+		}
+	}
+	// The λ-weighted fit beats the unit-weight fit in the weighted norm.
+	plain, err := LeastSquares(3, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res(ws) > res(plain)+1e-12 {
+		t.Fatalf("weighted fit (%g) worse than plain (%g) in its own norm", res(ws), res(plain))
+	}
+}
+
+func TestWeightedStaysPositive(t *testing.T) {
+	lo, hi := 0.05, 1.0
+	for _, m := range []int{2, 3, 4, 6} {
+		a, err := LeastSquaresWeighted(m, lo, hi, Poly{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.PositiveOn(lo, hi) {
+			t.Fatalf("m=%d λ-weighted q not positive", m)
+		}
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	if _, err := LeastSquaresWeighted(2, 0.1, 1, Poly{}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := LeastSquaresWeighted(2, 0.1, 1, Poly{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := LeastSquaresWeighted(0, 0.1, 1, Poly{1}); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}

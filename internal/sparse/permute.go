@@ -1,0 +1,81 @@
+package sparse
+
+import "fmt"
+
+// Perm represents a permutation of {0,…,n−1}. p[newIndex] = oldIndex: the
+// value at position i names which original index moves to position i. This
+// is the natural direction for "number the Red u equations first …"
+// multicolor orderings: the permutation is simply the concatenated color
+// groups listed in their new order.
+type Perm []int
+
+// NewIdentityPerm returns the identity permutation of length n.
+func NewIdentityPerm(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a genuine permutation of {0,…,len(p)−1}.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, old := range p {
+		if old < 0 || old >= len(p) || seen[old] {
+			return false
+		}
+		seen[old] = true
+	}
+	return true
+}
+
+// Inverse returns q with q[oldIndex] = newIndex.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for newIdx, old := range p {
+		q[old] = newIdx
+	}
+	return q
+}
+
+// ApplyVec gathers src into a new vector: dst[new] = src[p[new]].
+func (p Perm) ApplyVec(src []float64) []float64 {
+	if len(src) != len(p) {
+		panic(fmt.Sprintf("sparse: ApplyVec length mismatch %d vs %d", len(src), len(p)))
+	}
+	dst := make([]float64, len(p))
+	for newIdx, old := range p {
+		dst[newIdx] = src[old]
+	}
+	return dst
+}
+
+// UnapplyVec scatters src back to original ordering: dst[p[new]] = src[new].
+func (p Perm) UnapplyVec(src []float64) []float64 {
+	if len(src) != len(p) {
+		panic(fmt.Sprintf("sparse: UnapplyVec length mismatch %d vs %d", len(src), len(p)))
+	}
+	dst := make([]float64, len(p))
+	for newIdx, old := range p {
+		dst[old] = src[newIdx]
+	}
+	return dst
+}
+
+// PermuteSym returns B = Pᵀ A P in index terms: B[new_i][new_j] =
+// A[p[new_i]][p[new_j]]. Symmetry and positive definiteness are preserved.
+func PermuteSym(a *CSR, p Perm) *CSR {
+	if a.Rows != a.Cols || a.Rows != len(p) {
+		panic(fmt.Sprintf("sparse: PermuteSym needs square matrix matching perm: %d×%d vs %d", a.Rows, a.Cols, len(p)))
+	}
+	inv := p.Inverse()
+	c := NewCOO(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ni := inv[i]
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c.Add(ni, inv[a.ColIdx[k]], a.Val[k])
+		}
+	}
+	return c.ToCSR()
+}

@@ -1,0 +1,110 @@
+package splitting
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestMulticolorOmegaValidation(t *testing.T) {
+	_, k, _ := newSixColor(t, 4, 4)
+	if _, err := NewMulticolorSSOR(k, []int{0, k.Rows}, 0); err == nil {
+		t.Fatal("ω=0 accepted")
+	}
+	if _, err := NewMulticolorSSOR(k, []int{0, k.Rows}, 2); err == nil {
+		t.Fatal("ω=2 accepted")
+	}
+}
+
+func TestMulticolorOmegaNames(t *testing.T) {
+	s, _, _ := newSixColor(t, 4, 4)
+	if s.Name() != "ssor-multicolor" {
+		t.Fatalf("ω=1 name %q", s.Name())
+	}
+	k, start, _ := coloredPlate(t, 4, 4)
+	s2, err := NewMulticolorSSOR(k, start, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name() == s.Name() {
+		t.Fatal("ω should appear in name")
+	}
+}
+
+// ω≠1 multicolor SSOR must still converge as a stationary iteration and
+// match the natural-ordering SSOR(ω) on the same permuted matrix.
+func TestMulticolorOmegaMatchesNatural(t *testing.T) {
+	k, start, rhs := coloredPlate(t, 6, 6)
+	for _, w := range []float64{0.8, 1.4} {
+		mc, err := NewMulticolorSSOR(k, start, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nat, err := NewNaturalSSOR(k, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]float64, k.Rows)
+		b := make([]float64, k.Rows)
+		for i := range a {
+			a[i] = float64(i%5) - 2
+		}
+		copy(b, a)
+		mc.Step(a, rhs, 1)
+		nat.Step(b, rhs, 1)
+		if d := maxDiff(a, b); d > 1e-11 {
+			t.Fatalf("ω=%g: multicolor deviates from natural by %g", w, d)
+		}
+	}
+}
+
+// With ω≠1 the fused elisions are disabled; ApplyMStep must equal strict
+// steps exactly.
+func TestMulticolorOmegaApplyMStepStrict(t *testing.T) {
+	k, start, rhs := coloredPlate(t, 5, 5)
+	mc, err := NewMulticolorSSOR(k, start, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := []float64{1.5, 0.5, 2}
+	fused := make([]float64, k.Rows)
+	mc.ApplyMStep(fused, rhs, alphas)
+	naive := make([]float64, k.Rows)
+	for s := 1; s <= 3; s++ {
+		mc.Step(naive, rhs, alphas[3-s])
+	}
+	if d := maxDiff(fused, naive); d != 0 {
+		t.Fatalf("ω≠1 ApplyMStep deviates from strict steps by %g", d)
+	}
+}
+
+// The paper's §5 claim (via Adams 1983): for the multicolor ordering with
+// few colors, ω = 1 is a good choice — the stationary SSOR error reduction
+// at ω=1 is within a whisker of the best sampled ω.
+func TestOmegaOneNearOptimalForMulticolor(t *testing.T) {
+	k, start, rhs := coloredPlate(t, 8, 8)
+	exact := denseSolve(t, k, rhs)
+	errAfter := func(w float64, steps int) float64 {
+		mc, err := NewMulticolorSSOR(k, start, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, k.Rows)
+		for s := 0; s < steps; s++ {
+			mc.Step(x, rhs, 1)
+		}
+		return maxDiff(x, exact) / vec.NormInf(exact)
+	}
+	e1 := errAfter(1.0, 40)
+	best := e1
+	for _, w := range []float64{0.6, 0.8, 1.2, 1.4, 1.6, 1.8} {
+		if e := errAfter(w, 40); e < best {
+			best = e
+		}
+	}
+	// ω=1 within a factor ~3 of the best sampled ω (the paper's point is
+	// that no delicate ω tuning is needed, unlike natural-ordering SOR).
+	if e1 > 3*best {
+		t.Fatalf("ω=1 error %g much worse than best sampled %g", e1, best)
+	}
+}

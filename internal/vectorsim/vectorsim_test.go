@@ -1,0 +1,184 @@
+package vectorsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+)
+
+func TestEfficiencyMatchesPaperQuotes(t *testing.T) {
+	m := Cyber203()
+	// "For vectors of length 1000 around 90% efficiency is obtained, but
+	// this drops to approximately 50% or less for vectors of length 100
+	// and 10% for vectors of length 10."
+	if e := m.Efficiency(1000); math.Abs(e-0.909) > 0.01 {
+		t.Fatalf("eff(1000) = %v", e)
+	}
+	if e := m.Efficiency(100); math.Abs(e-0.5) > 0.01 {
+		t.Fatalf("eff(100) = %v", e)
+	}
+	if e := m.Efficiency(10); math.Abs(e-0.0909) > 0.01 {
+		t.Fatalf("eff(10) = %v", e)
+	}
+	if m.Efficiency(0) != 0 {
+		t.Fatal("eff(0) should be 0")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := Cyber203().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Cyber205().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Model{Tau: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+}
+
+func TestInnerProductSlowerThanVecOp(t *testing.T) {
+	m := Cyber203()
+	for _, n := range []int{100, 1000, 10000} {
+		if m.InnerProduct(n) <= m.VecOp(n) {
+			t.Fatalf("n=%d: inner product not slower than vector op", n)
+		}
+	}
+}
+
+func TestCyber205FasterThan203(t *testing.T) {
+	for _, n := range []int{100, 1000} {
+		if Cyber205().VecOp(n) >= Cyber203().VecOp(n) {
+			t.Fatal("205 not faster than 203")
+		}
+	}
+}
+
+func TestAnalyzeBreakdownSane(t *testing.T) {
+	sys, _, err := core.PlateSystem(12, 12, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := Analyze(Cyber203(), sys.K, sys.GroupStart, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.A <= 0 || cost.B <= 0 || cost.Setup <= 0 {
+		t.Fatalf("non-positive costs: %+v", cost)
+	}
+	if cost.InnerProductShare <= 0 || cost.InnerProductShare >= 1 {
+		t.Fatalf("inner product share %v out of (0,1)", cost.InnerProductShare)
+	}
+	// Time formula: linear in iterations and in m.
+	t1 := cost.Time(10, 2)
+	t2 := cost.Time(20, 2)
+	if math.Abs((t2-cost.Setup)-2*(t1-cost.Setup)) > 1e-12 {
+		t.Fatal("Time not linear in iterations")
+	}
+}
+
+func TestBOverADecreasesWithProblemSize(t *testing.T) {
+	// The lever behind Table 2's "optimal m grows with vector length":
+	// startup-dominated short color vectors make B relatively expensive on
+	// small problems; on long vectors the fixed inner-product penalty in A
+	// no longer dominates but B's many short ops amortize faster.
+	model := Cyber203()
+	ratio := func(a int) float64 {
+		sys, _, err := core.PlateSystem(a, a, fem.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pad := (a*a + 2) / 3
+		cost, err := Analyze(model, sys.K, sys.GroupStart, pad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.B / cost.A
+	}
+	small, large := ratio(10), ratio(40)
+	if large >= small {
+		t.Fatalf("B/A did not decrease with size: %v (a=10) vs %v (a=40)", small, large)
+	}
+}
+
+func TestSimulatePlateBasic(t *testing.T) {
+	run, err := SimulatePlate(Cyber203(), 10, 10, 2, true, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Iterations <= 0 || run.Seconds <= 0 {
+		t.Fatalf("degenerate run %+v", run)
+	}
+	if run.VectorLen != (100+2)/3 {
+		t.Fatalf("vector length %d, want %d", run.VectorLen, (100+2)/3)
+	}
+	if run.Label() != "2P" {
+		t.Fatalf("label %q", run.Label())
+	}
+}
+
+func TestRunLabels(t *testing.T) {
+	if (Run{M: 0}).Label() != "0" {
+		t.Fatal("m=0 label")
+	}
+	if (Run{M: 3}).Label() != "3" {
+		t.Fatal("m=3 label")
+	}
+	if (Run{M: 4, Param: true}).Label() != "4P" {
+		t.Fatal("4P label")
+	}
+}
+
+func TestSimulateRejectsParamM1(t *testing.T) {
+	if _, err := SimulatePlate(Cyber203(), 8, 8, 1, true, 1e-6); err == nil {
+		t.Fatal("parametrized m=1 accepted")
+	}
+}
+
+func TestPreconditioningReducesIterationsOnCyber(t *testing.T) {
+	cg0, err := SimulatePlate(Cyber203(), 12, 12, 0, false, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcg1, err := SimulatePlate(Cyber203(), 12, 12, 1, false, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcg1.Iterations >= cg0.Iterations {
+		t.Fatalf("1-step PCG (%d) not fewer iterations than CG (%d)", pcg1.Iterations, cg0.Iterations)
+	}
+}
+
+// The paper's Table 2 observation (1): the parametrized preconditioner
+// beats the unparametrized one in execution time too.
+func TestParametrizedFasterOnCyber(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		plain, err := SimulatePlate(Cyber203(), 14, 14, m, false, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		param, err := SimulatePlate(Cyber203(), 14, 14, m, true, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if param.Seconds > plain.Seconds {
+			t.Fatalf("m=%d: parametrized %.4gs slower than plain %.4gs", m, param.Seconds, plain.Seconds)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	sys, _, err := core.PlateSystem(6, 6, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(Model{Tau: -1}, sys.K, sys.GroupStart, 0); err == nil {
+		t.Fatal("bad model accepted")
+	}
+	if _, err := Analyze(Cyber203(), sys.K, []int{0, 1}, 0); err == nil {
+		t.Fatal("bad group boundaries accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cg"
+	"repro/internal/core"
+	"repro/internal/eigen"
+	"repro/internal/fem"
+	"repro/internal/femachine"
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+	"repro/internal/vectorsim"
+)
+
+// Re-exported configuration enums and types. Aliases keep the public
+// surface thin while the mechanics live in internal packages.
+type (
+	// Config selects the solver variant; see the field documentation on
+	// core.Config.
+	Config = core.Config
+	// Result reports a solve.
+	Result = core.Result
+	// Stats is the CG iteration report.
+	Stats = cg.Stats
+	// Interval is a spectral interval [λ₁, λₙ] for P⁻¹K.
+	Interval = eigen.Interval
+	// Material is the plane-stress material of the plate problem.
+	Material = fem.Material
+	// CyberModel is the CYBER 203/205 timing model.
+	CyberModel = vectorsim.Model
+	// FEMachineConfig configures a Finite Element Machine run.
+	FEMachineConfig = femachine.Config
+	// FEMachineResult reports a Finite Element Machine run.
+	FEMachineResult = femachine.Result
+)
+
+// Splitting kinds.
+const (
+	SSORMulticolor  = core.SSORMulticolor
+	SSORNatural     = core.SSORNatural
+	JacobiSplitting = core.JacobiSplitting
+)
+
+// Coefficient kinds (§2.2 parametrizations).
+const (
+	Unparametrized     = core.Unparametrized
+	LeastSquaresCoeffs = core.LeastSquaresCoeffs
+	ChebyshevCoeffs    = core.ChebyshevCoeffs
+)
+
+// Problem is an SPD system ready for the m-step PCG solver. Plate problems
+// carry their mesh so solutions can be mapped back to nodes and the
+// parallel-machine simulators can partition them.
+type Problem struct {
+	sys   core.System
+	plate *fem.Plate
+}
+
+// NewPlateProblem assembles the paper's plane-stress test problem on a
+// rows×cols-node unit square plate (left edge clamped, right edge loaded)
+// in the 6-color multicolor ordering.
+func NewPlateProblem(rows, cols int) (*Problem, error) {
+	sys, plate, err := core.PlateSystem(rows, cols, fem.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{sys: sys, plate: plate}, nil
+}
+
+// NewPlateProblemWithMaterial assembles the plate with a custom material
+// and traction.
+func NewPlateProblemWithMaterial(rows, cols int, mat Material, traction float64) (*Problem, error) {
+	sys, plate, err := core.PlateSystem(rows, cols, fem.Options{Mat: mat, Traction: traction})
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{sys: sys, plate: plate}, nil
+}
+
+// MatrixBuilder assembles a general sparse SPD system for the solver
+// (duplicate entries are summed, as finite element assembly needs).
+type MatrixBuilder struct {
+	n   int
+	coo *sparse.COO
+}
+
+// NewMatrixBuilder returns a builder for an n×n system.
+func NewMatrixBuilder(n int) *MatrixBuilder {
+	return &MatrixBuilder{n: n, coo: sparse.NewCOO(n, n)}
+}
+
+// Add accumulates v into entry (i, j).
+func (b *MatrixBuilder) Add(i, j int, v float64) { b.coo.Add(i, j, v) }
+
+// Problem finalizes the matrix with right-hand side f. General problems
+// use the Jacobi or natural-SSOR splittings (no multicolor structure).
+func (b *MatrixBuilder) Problem(f []float64) (*Problem, error) {
+	k := b.coo.ToCSR()
+	if len(f) != b.n {
+		return nil, fmt.Errorf("repro: rhs length %d != n %d", len(f), b.n)
+	}
+	if !k.IsSymmetric(1e-12) {
+		return nil, fmt.Errorf("repro: matrix is not symmetric")
+	}
+	return &Problem{sys: core.System{K: k, F: f}}, nil
+}
+
+// N returns the number of unknowns.
+func (p *Problem) N() int { return p.sys.K.Rows }
+
+// Solve runs the configured m-step PCG method.
+func Solve(p *Problem, cfg Config) (Result, error) {
+	return core.Solve(p.sys, cfg)
+}
+
+// NodeDisplacements maps a plate solution (Result.U, colored ordering) back
+// to per-node displacements: the returned slices are indexed by free-node
+// position with u and v components. Returns an error for non-plate
+// problems.
+func (p *Problem) NodeDisplacements(res Result) (nodes []int, u, v []float64, err error) {
+	if p.plate == nil {
+		return nil, nil, nil, fmt.Errorf("repro: not a plate problem")
+	}
+	natural := p.plate.UncolorSolution(res.U)
+	nodes = p.plate.Free
+	u = make([]float64, len(nodes))
+	v = make([]float64, len(nodes))
+	for k := range nodes {
+		u[k] = natural[2*k]
+		v[k] = natural[2*k+1]
+	}
+	return nodes, u, v, nil
+}
+
+// EstimateCondition returns (λmin, λmax, κ) of the preconditioned operator
+// measured from a converged run's CG coefficients.
+func EstimateCondition(res Result) (lo, hi, kappa float64, err error) {
+	return eigen.CondFromCGStats(res.Stats)
+}
+
+// Cyber203 and Cyber205 return the vector machine models of §3.1.
+func Cyber203() CyberModel { return vectorsim.Cyber203() }
+
+// Cyber205 returns the CYBER 205 model.
+func Cyber205() CyberModel { return vectorsim.Cyber205() }
+
+// SimulateOnCyber runs the m-step multicolor SSOR PCG for an a×a plate on
+// the simulated vector machine, returning iterations and simulated
+// seconds (a Table 2 cell).
+func SimulateOnCyber(model CyberModel, a, m int, parametrized bool, tol float64) (iters int, seconds float64, err error) {
+	run, err := vectorsim.SimulatePlate(model, a, a, m, parametrized, tol)
+	if err != nil {
+		return 0, 0, err
+	}
+	return run.Iterations, run.Seconds, nil
+}
+
+// RunOnFEMachine executes the problem on the simulated Finite Element
+// Machine (plate problems only — the machine needs the mesh partition).
+func RunOnFEMachine(p *Problem, cfg FEMachineConfig) (FEMachineResult, error) {
+	if p.plate == nil {
+		return FEMachineResult{}, fmt.Errorf("repro: the Finite Element Machine needs a plate problem")
+	}
+	mach, err := femachine.New(p.plate, cfg)
+	if err != nil {
+		return FEMachineResult{}, err
+	}
+	return mach.Run()
+}
+
+// DefaultFEMachineTime returns the default Finite Element Machine timing
+// model.
+func DefaultFEMachineTime() femachine.TimeModel { return femachine.DefaultTimeModel() }
+
+// Partition strategies for the Finite Element Machine.
+const (
+	RowStrips = mesh.RowStrips
+	ColStrips = mesh.ColStrips
+)

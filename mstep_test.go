@@ -1,0 +1,155 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	p, err := repro.NewPlateProblem(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 2*10*9 {
+		t.Fatalf("N = %d", p.N())
+	}
+	res, err := repro.Solve(p, repro.Config{M: 3, Coeffs: repro.LeastSquaresCoeffs, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("not converged")
+	}
+	nodes, u, v, err := p.NodeDisplacements(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != len(u) || len(u) != len(v) {
+		t.Fatal("displacement lengths")
+	}
+}
+
+func TestPublicGeneralMatrix(t *testing.T) {
+	// Small 1-D Laplacian through the public builder.
+	n := 20
+	b := repro.NewMatrixBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 2)
+		if i > 0 {
+			b.Add(i, i-1, -1)
+			b.Add(i-1, i, -1)
+		}
+	}
+	f := make([]float64, n)
+	f[n/2] = 1
+	p, err := b.Problem(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Solve(p, repro.Config{M: 1, Splitting: repro.JacobiSplitting, RelResidualTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("not converged")
+	}
+}
+
+func TestPublicBuilderRejectsAsymmetric(t *testing.T) {
+	b := repro.NewMatrixBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	b.Add(0, 1, 0.5)
+	if _, err := b.Problem([]float64{1, 1}); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	b2 := repro.NewMatrixBuilder(2)
+	b2.Add(0, 0, 1)
+	b2.Add(1, 1, 1)
+	if _, err := b2.Problem([]float64{1}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestPublicConditionEstimate(t *testing.T) {
+	p, err := repro.NewPlateProblem(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Solve(p, repro.Config{M: 0, RelResidualTol: 1e-12, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, kappa, err := repro.EstimateCondition(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(0 < lo && lo < hi) || kappa < 1 {
+		t.Fatalf("condition estimate (%g, %g, %g)", lo, hi, kappa)
+	}
+}
+
+func TestPublicCyberSim(t *testing.T) {
+	i0, t0, err := repro.SimulateOnCyber(repro.Cyber203(), 12, 0, false, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i3, t3, err := repro.SimulateOnCyber(repro.Cyber203(), 12, 3, true, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i3 >= i0 {
+		t.Fatalf("3P iterations %d not below CG %d", i3, i0)
+	}
+	if t0 <= 0 || t3 <= 0 {
+		t.Fatal("nonpositive simulated times")
+	}
+	if repro.Cyber205().VecOp(1000) >= repro.Cyber203().VecOp(1000) {
+		t.Fatal("205 should be faster")
+	}
+}
+
+func TestPublicFEMachine(t *testing.T) {
+	p, err := repro.NewPlateProblem(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := repro.Solve(p, repro.Config{M: 0, Tol: 1e-6, MaxIter: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.RunOnFEMachine(p, repro.FEMachineConfig{
+		P: 5, Strategy: repro.ColStrips, M: 0,
+		Tol: 1e-6, MaxIter: 10000, Time: repro.DefaultFEMachineTime(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != serial.Stats.Iterations {
+		t.Fatalf("machine %d iterations vs serial %d", res.Iterations, serial.Stats.Iterations)
+	}
+	for i := range res.U {
+		if math.Abs(res.U[i]-serial.U[i]) > 5e-7 {
+			t.Fatalf("solution deviates at %d", i)
+		}
+	}
+}
+
+func TestPublicFEMachineRejectsGeneralProblem(t *testing.T) {
+	b := repro.NewMatrixBuilder(4)
+	for i := 0; i < 4; i++ {
+		b.Add(i, i, 2)
+	}
+	p, err := b.Problem(make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.RunOnFEMachine(p, repro.FEMachineConfig{P: 1, Tol: 1e-6, Time: repro.DefaultFEMachineTime()}); err == nil {
+		t.Fatal("general problem accepted by the machine")
+	}
+	if _, _, _, err := p.NodeDisplacements(repro.Result{}); err == nil {
+		t.Fatal("NodeDisplacements on general problem accepted")
+	}
+}
