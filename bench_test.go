@@ -9,8 +9,12 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/cg"
@@ -345,4 +349,48 @@ func BenchmarkPoissonCG(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Service: solves/sec at increasing concurrency ------------------------
+
+func BenchmarkServiceThroughput(b *testing.B) {
+	req := repro.SolveRequest{
+		Plate:        &repro.PlateSpec{Rows: 20, Cols: 20},
+		Solver:       repro.SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-6},
+		OmitSolution: true,
+	}
+	concurrencies := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		concurrencies = append(concurrencies, g)
+	}
+	for _, jobs := range concurrencies {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			svc := repro.NewService(repro.ServiceConfig{Workers: jobs, QueueDepth: 4 * jobs})
+			defer svc.Close()
+			// Populate the cache so the benchmark measures served solves,
+			// not one-time assembly.
+			if _, err := svc.Solve(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < jobs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if _, err := svc.Solve(context.Background(), req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			total := float64(jobs) * float64(b.N)
+			b.ReportMetric(total/time.Since(start).Seconds(), "solves/s")
+		})
+	}
 }

@@ -1,0 +1,78 @@
+// Command solverd runs the m-step PCG solver as a resident HTTP service:
+// a bounded worker pool executes concurrent solves, and a
+// problem/preconditioner cache amortizes plate assembly and spectral
+// interval estimation across requests.
+//
+// Usage:
+//
+//	solverd -addr :8080 [-workers 4] [-worker-budget 0] [-queue 256] [-cache 64]
+//
+// API:
+//
+//	POST /v1/solve     {"plate":{"rows":20,"cols":20},"solver":{"m":3,"coeffs":"least-squares"}}
+//	                   add "async":true for 202 + job ID instead of waiting
+//	POST /v1/solve     {"system":{"n":2,"i":[0,1],"j":[0,1],"v":[2,2],"f":[1,0],"key":"demo"},"solver":{"splitting":"jacobi"}}
+//	GET  /v1/jobs/{id} job status and result
+//	GET  /v1/stats     queue depth, cache hit rate, p50/p99 latency
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("solverd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		budget  = flag.Int("worker-budget", 0, "kernel goroutines per solve (0 = GOMAXPROCS/workers)")
+		queue   = flag.Int("queue", 256, "job queue depth (further submissions get 503)")
+		cache   = flag.Int("cache", 64, "problem/preconditioner cache entries")
+		history = flag.Int("history", 512, "finished jobs kept for /v1/jobs lookups")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		WorkerBudget: *budget,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		HistoryLimit: *history,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	go func() {
+		log.Printf("listening on %s (GOMAXPROCS=%d)", *addr, runtime.GOMAXPROCS(0))
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down: draining in-flight requests and queued jobs")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	svc.Close()
+	log.Print("bye")
+}

@@ -6,12 +6,10 @@ package cg
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/precond"
 	"repro/internal/sparse"
-	"repro/internal/vec"
 )
 
 // ErrBreakdownMatrix signals (p, Kp) ≤ 0: the system matrix is not positive
@@ -48,6 +46,11 @@ type Options struct {
 	// and stores it in Stats.TrueRelRes (one extra matrix–vector product);
 	// it guards against recurrence drift on long runs.
 	VerifyResidual bool
+	// Workers caps the goroutine fan-out of the SpMV/dot/axpy kernels.
+	// ≤ 1 keeps every kernel serial (the default). The solver service sets
+	// this to a per-job budget so p concurrent jobs × w workers never
+	// oversubscribe GOMAXPROCS.
+	Workers int
 }
 
 // Stats reports what a solve did.
@@ -78,130 +81,13 @@ type Stats struct {
 
 // Solve runs preconditioned CG on K·u = f with preconditioner M.
 // It returns the iterate, statistics, and an error for breakdowns or
-// hitting MaxIter (the partial result is still returned).
+// hitting MaxIter (the partial result is still returned). Each call
+// allocates its scratch; allocation-sensitive callers use SolveInto with a
+// reused Workspace.
 func Solve(k *sparse.CSR, f []float64, m precond.Preconditioner, opt Options) ([]float64, Stats, error) {
-	n := k.Rows
-	if k.Cols != n {
-		return nil, Stats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", k.Rows, k.Cols)
-	}
-	if len(f) != n {
-		return nil, Stats{}, fmt.Errorf("cg: rhs length %d != n %d", len(f), n)
-	}
-	if opt.Tol <= 0 && opt.RelResidualTol <= 0 {
-		return nil, Stats{}, fmt.Errorf("cg: no stopping test enabled (Tol and RelResidualTol both unset)")
-	}
-	if opt.MaxIter <= 0 {
-		opt.MaxIter = 10 * n
-	}
-	if m == nil {
-		m = precond.Identity{}
-	}
-
-	var st Stats
-	st.TrueRelRes = -1
-	u := make([]float64, n)
-	if opt.X0 != nil {
-		if len(opt.X0) != n {
-			return nil, Stats{}, fmt.Errorf("cg: x0 length %d != n %d", len(opt.X0), n)
-		}
-		copy(u, opt.X0)
-	}
-
-	r := make([]float64, n)    // residual
-	rhat := make([]float64, n) // M⁻¹ r
-	p := make([]float64, n)    // search direction
-	kp := make([]float64, n)   // K p
-
-	// r⁰ = f − K u⁰
-	k.MulVecTo(kp, u)
-	st.MatVecs++
-	vec.Sub(r, f, kp)
-	// M r̂⁰ = r⁰ ; p⁰ = r̂⁰
-	m.Apply(rhat, r)
-	st.PrecondApps++
-	copy(p, rhat)
-
-	normF := vec.Norm2(f)
-	if normF == 0 {
-		normF = 1 // homogeneous system: absolute residual test
-	}
-	finish := func(err error) ([]float64, Stats, error) {
-		if opt.VerifyResidual {
-			tmp := make([]float64, n)
-			k.MulVecTo(tmp, u)
-			st.MatVecs++
-			vec.Sub(tmp, f, tmp)
-			st.TrueRelRes = vec.Norm2(tmp) / normF
-		}
-		return u, st, err
-	}
-
-	rho := vec.Dot(rhat, r)
-	st.InnerProducts++
-	if rho < 0 {
-		return finish(ErrBreakdownPrecond)
-	}
-	if rho == 0 { // zero residual: initial guess solves the system
-		st.Converged = true
-		return finish(nil)
-	}
-
-	for iter := 0; iter < opt.MaxIter; iter++ {
-		k.MulVecTo(kp, p)
-		st.MatVecs++
-		pkp := vec.Dot(p, kp)
-		st.InnerProducts++
-		if pkp <= 0 {
-			return finish(ErrBreakdownMatrix)
-		}
-		alpha := rho / pkp
-		st.CGAlphas = append(st.CGAlphas, alpha)
-
-		// u^{k+1} = u^k + α p ; the paper's test quantity is
-		// ‖u^{k+1}−u^k‖_∞ = |α|·‖p‖_∞.
-		vec.Axpy(alpha, p, u)
-		st.Iterations++
-		udiff := math.Abs(alpha) * vec.NormInf(p)
-		st.FinalUDiff = udiff
-
-		// r^{k+1} = r^k − α K p
-		vec.Axpy(-alpha, kp, r)
-		relres := vec.Norm2(r) / normF
-		st.FinalRelRes = relres
-		if opt.History {
-			st.UDiffHistory = append(st.UDiffHistory, udiff)
-			st.ResidualHistory = append(st.ResidualHistory, relres)
-		}
-		if (opt.Tol > 0 && udiff < opt.Tol) || (opt.RelResidualTol > 0 && relres < opt.RelResidualTol) {
-			st.Converged = true
-			return finish(nil)
-		}
-		if opt.OnIteration != nil && !opt.OnIteration(st.Iterations, udiff, relres) {
-			st.Stopped = true
-			return finish(nil)
-		}
-
-		// M r̂^{k+1} = r^{k+1}
-		m.Apply(rhat, r)
-		st.PrecondApps++
-		rhoNext := vec.Dot(rhat, r)
-		st.InnerProducts++
-		if rhoNext < 0 {
-			return finish(ErrBreakdownPrecond)
-		}
-		if rhoNext == 0 {
-			// (M⁻¹r, r) = 0 with SPD M means r = 0: exact convergence.
-			st.Converged = true
-			return finish(nil)
-		}
-		beta := rhoNext / rho
-		st.CGBetas = append(st.CGBetas, beta)
-		rho = rhoNext
-
-		// p^{k+1} = r̂^{k+1} + β p^k
-		vec.Xpay(rhat, beta, p)
-	}
-	return finish(ErrMaxIterations)
+	u := make([]float64, k.Rows)
+	st, err := SolveInto(u, k, f, m, opt, nil)
+	return u, st, err
 }
 
 // LanczosTridiagonal reconstructs the Lanczos tridiagonal matrix T from the

@@ -1,0 +1,207 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// Workspace holds every scratch vector a solve needs, so repeated solves of
+// same-sized systems (the solver service's steady state) allocate nothing.
+// A Workspace is not safe for concurrent use; give each worker its own.
+type Workspace struct {
+	r    []float64 // residual
+	rhat []float64 // M⁻¹ r
+	p    []float64 // search direction
+	kp   []float64 // K p
+	tmp  []float64 // VerifyResidual scratch
+
+	// alphas and betas back Stats.CGAlphas/CGBetas; their capacity is
+	// retained across solves so the recurrence recording stops allocating
+	// once it has grown to the iteration count a problem needs.
+	alphas, betas []float64
+}
+
+// NewWorkspace returns a workspace sized for n-dimensional systems. It grows
+// automatically if later used for a larger system.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensure(n)
+	return w
+}
+
+// ensure sizes every buffer to length n, reallocating only on growth.
+func (w *Workspace) ensure(n int) {
+	if cap(w.r) < n {
+		w.r = make([]float64, n)
+		w.rhat = make([]float64, n)
+		w.p = make([]float64, n)
+		w.kp = make([]float64, n)
+		w.tmp = make([]float64, n)
+	}
+	w.r = w.r[:n]
+	w.rhat = w.rhat[:n]
+	w.p = w.p[:n]
+	w.kp = w.kp[:n]
+	w.tmp = w.tmp[:n]
+}
+
+// SolveInto runs preconditioned CG on K·u = f with preconditioner M,
+// writing the iterate into u (len n; any prior content is overwritten, or
+// replaced by opt.X0 when set). ws provides the scratch memory and may be
+// nil, in which case a fresh workspace is allocated.
+//
+// With History off, a warm workspace, and Workers ≤ 1, a solve performs no
+// heap allocation — the returned Stats.CGAlphas/CGBetas alias the
+// workspace, so copy them before the workspace's next solve if they must
+// survive it. Workers > 1 fans the SpMV/dot/axpy kernels out over that many
+// goroutines (goroutine startup does allocate).
+func SolveInto(u []float64, k *sparse.CSR, f []float64, m precond.Preconditioner, opt Options, ws *Workspace) (Stats, error) {
+	n := k.Rows
+	if k.Cols != n {
+		return Stats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", k.Rows, k.Cols)
+	}
+	if len(f) != n {
+		return Stats{}, fmt.Errorf("cg: rhs length %d != n %d", len(f), n)
+	}
+	if len(u) != n {
+		return Stats{}, fmt.Errorf("cg: iterate length %d != n %d", len(u), n)
+	}
+	if opt.Tol <= 0 && opt.RelResidualTol <= 0 {
+		return Stats{}, fmt.Errorf("cg: no stopping test enabled (Tol and RelResidualTol both unset)")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	if m == nil {
+		m = precond.Identity{}
+	}
+	if ws == nil {
+		ws = NewWorkspace(n)
+	}
+	ws.ensure(n)
+	// The Par kernels fall back to their serial forms for w <= 1 (and for
+	// short vectors), so one normalized budget serves every call site.
+	w := opt.Workers
+	if w < 1 {
+		w = 1
+	}
+
+	var st Stats
+	st.TrueRelRes = -1
+	st.CGAlphas = ws.alphas[:0]
+	st.CGBetas = ws.betas[:0]
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return Stats{}, fmt.Errorf("cg: x0 length %d != n %d", len(opt.X0), n)
+		}
+		copy(u, opt.X0)
+	} else {
+		vec.Zero(u)
+	}
+
+	r, rhat, p, kp := ws.r, ws.rhat, ws.p, ws.kp
+
+	// r⁰ = f − K u⁰
+	k.ParMulVecTo(kp, u, w)
+	st.MatVecs++
+	vec.Sub(r, f, kp)
+	// M r̂⁰ = r⁰ ; p⁰ = r̂⁰
+	m.Apply(rhat, r)
+	st.PrecondApps++
+	copy(p, rhat)
+
+	normF := vec.Norm2(f)
+	if normF == 0 {
+		normF = 1 // homogeneous system: absolute residual test
+	}
+
+	rho := vec.ParDot(rhat, r, w)
+	st.InnerProducts++
+
+	var reterr error
+	switch {
+	case rho < 0:
+		reterr = ErrBreakdownPrecond
+	case rho == 0: // zero residual: initial guess solves the system
+		st.Converged = true
+	default:
+		reterr = ErrMaxIterations // cleared by any successful exit below
+	loop:
+		for iter := 0; iter < opt.MaxIter; iter++ {
+			k.ParMulVecTo(kp, p, w)
+			st.MatVecs++
+			pkp := vec.ParDot(p, kp, w)
+			st.InnerProducts++
+			if pkp <= 0 {
+				reterr = ErrBreakdownMatrix
+				break loop
+			}
+			alpha := rho / pkp
+			st.CGAlphas = append(st.CGAlphas, alpha)
+
+			// u^{k+1} = u^k + α p ; the paper's test quantity is
+			// ‖u^{k+1}−u^k‖_∞ = |α|·‖p‖_∞.
+			vec.ParAxpy(alpha, p, u, w)
+			st.Iterations++
+			udiff := math.Abs(alpha) * vec.NormInf(p)
+			st.FinalUDiff = udiff
+
+			// r^{k+1} = r^k − α K p
+			vec.ParAxpy(-alpha, kp, r, w)
+			relres := vec.Norm2(r) / normF
+			st.FinalRelRes = relres
+			if opt.History {
+				st.UDiffHistory = append(st.UDiffHistory, udiff)
+				st.ResidualHistory = append(st.ResidualHistory, relres)
+			}
+			if (opt.Tol > 0 && udiff < opt.Tol) || (opt.RelResidualTol > 0 && relres < opt.RelResidualTol) {
+				st.Converged = true
+				reterr = nil
+				break loop
+			}
+			if opt.OnIteration != nil && !opt.OnIteration(st.Iterations, udiff, relres) {
+				st.Stopped = true
+				reterr = nil
+				break loop
+			}
+
+			// M r̂^{k+1} = r^{k+1}
+			m.Apply(rhat, r)
+			st.PrecondApps++
+			rhoNext := vec.ParDot(rhat, r, w)
+			st.InnerProducts++
+			if rhoNext < 0 {
+				reterr = ErrBreakdownPrecond
+				break loop
+			}
+			if rhoNext == 0 {
+				// (M⁻¹r, r) = 0 with SPD M means r = 0: exact convergence.
+				st.Converged = true
+				reterr = nil
+				break loop
+			}
+			beta := rhoNext / rho
+			st.CGBetas = append(st.CGBetas, beta)
+			rho = rhoNext
+
+			// p^{k+1} = r̂^{k+1} + β p^k
+			vec.Xpay(rhat, beta, p)
+		}
+	}
+
+	// Retain grown recurrence capacity for the workspace's next solve.
+	ws.alphas = st.CGAlphas
+	ws.betas = st.CGBetas
+
+	if opt.VerifyResidual {
+		k.ParMulVecTo(ws.tmp, u, w)
+		st.MatVecs++
+		vec.Sub(ws.tmp, f, ws.tmp)
+		st.TrueRelRes = vec.Norm2(ws.tmp) / normF
+	}
+	return st, reterr
+}

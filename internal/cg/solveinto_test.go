@@ -1,0 +1,190 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/poly"
+	"repro/internal/precond"
+	"repro/internal/splitting"
+)
+
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	k := model.Poisson2D(20, 20)
+	f := make([]float64, k.Rows)
+	for i := range f {
+		f[i] = float64(i%5) - 2
+	}
+	j, err := splitting.NewJacobi(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := precond.NewMStep(j, poly.Ones(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{RelResidualTol: 1e-10, MaxIter: 5000}
+
+	want, wantSt, err := Solve(k, f, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, k.Rows)
+	ws := NewWorkspace(k.Rows)
+	st, err := SolveInto(u, k, f, p, opt, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations != wantSt.Iterations || st.Converged != wantSt.Converged {
+		t.Fatalf("stats differ: %d/%v vs %d/%v", st.Iterations, st.Converged, wantSt.Iterations, wantSt.Converged)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("iterate differs at %d: %g vs %g", i, u[i], want[i])
+		}
+	}
+
+	// The workspace must be reusable immediately, including for a different
+	// size.
+	k2 := model.Laplacian1D(50)
+	f2 := make([]float64, 50)
+	f2[25] = 1
+	u2 := make([]float64, 50)
+	if _, err := SolveInto(u2, k2, f2, nil, Options{Tol: 1e-10}, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveInto(u, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveIntoNilWorkspaceAndDirtyIterate(t *testing.T) {
+	k := model.Laplacian1D(30)
+	f := make([]float64, 30)
+	f[10] = 1
+	u := make([]float64, 30)
+	for i := range u {
+		u[i] = 1e9 // must be overwritten, not used as an initial guess
+	}
+	st, err := SolveInto(u, k, f, nil, Options{Tol: 1e-12}, nil)
+	if err != nil || !st.Converged {
+		t.Fatalf("err=%v converged=%v", err, st.Converged)
+	}
+	if res := residualInf(k, u, f); res > 1e-8 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestSolveIntoValidatesIterateLength(t *testing.T) {
+	k := model.Laplacian1D(10)
+	f := make([]float64, 10)
+	if _, err := SolveInto(make([]float64, 9), k, f, nil, Options{Tol: 1e-8}, nil); err == nil {
+		t.Fatal("short iterate accepted")
+	}
+}
+
+// TestSolveIntoZeroAllocations is the service's steady-state contract: with
+// a warm workspace, serial kernels, and no history, a solve touches the
+// heap zero times.
+func TestSolveIntoZeroAllocations(t *testing.T) {
+	k := model.Poisson2D(12, 12)
+	f := make([]float64, k.Rows)
+	for i := range f {
+		f[i] = 1
+	}
+	j, err := splitting.NewJacobi(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := precond.NewMStep(j, poly.Ones(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, k.Rows)
+	ws := NewWorkspace(k.Rows)
+	opt := Options{RelResidualTol: 1e-8, MaxIter: 2000}
+	// Warm the workspace (grows the recurrence-coefficient capacity).
+	if _, err := SolveInto(u, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveInto(u, k, f, p, opt, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveInto allocated %g times per solve, want 0", allocs)
+	}
+
+	// VerifyResidual must stay allocation-free too (it uses the workspace).
+	opt.VerifyResidual = true
+	if _, err := SolveInto(u, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveInto(u, k, f, p, opt, ws); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("VerifyResidual solve allocated %g times, want 0", allocs)
+	}
+}
+
+// TestSolveParallelWorkersMatchSerial exercises the Workers > 1 kernel path
+// on a system above the parallel fan-out threshold and checks it reaches
+// the same solution (chunked reductions reorder floating point, so exact
+// equality is not expected).
+func TestSolveParallelWorkersMatchSerial(t *testing.T) {
+	k := model.Poisson2D(70, 70) // n = 4900 > the 4096 parallel threshold
+	f := make([]float64, k.Rows)
+	for i := range f {
+		f[i] = math.Sin(float64(i))
+	}
+	opt := Options{RelResidualTol: 1e-10, MaxIter: 2000}
+	serial, stSerial, err := Solve(k, f, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optPar := opt
+	optPar.Workers = 3
+	par, stPar, err := Solve(k, f, nil, optPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stSerial.Converged || !stPar.Converged {
+		t.Fatalf("converged: serial=%v parallel=%v", stSerial.Converged, stPar.Converged)
+	}
+	var maxDiff float64
+	for i := range serial {
+		maxDiff = math.Max(maxDiff, math.Abs(serial[i]-par[i]))
+	}
+	if maxDiff > 1e-7 {
+		t.Fatalf("parallel solution deviates by %g", maxDiff)
+	}
+}
+
+// TestStatsAliasWorkspace pins the documented contract: SolveInto's
+// Stats.CGAlphas alias the workspace, so the next solve on that workspace
+// reuses the same backing memory.
+func TestStatsAliasWorkspace(t *testing.T) {
+	k := model.Laplacian1D(40)
+	f := make([]float64, 40)
+	f[7] = 1
+	u := make([]float64, 40)
+	ws := NewWorkspace(40)
+	st1, err := SolveInto(u, k, f, nil, Options{Tol: 1e-10}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := SolveInto(u, k, f, nil, Options{Tol: 1e-10}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st1.CGAlphas) == 0 || len(st2.CGAlphas) == 0 {
+		t.Fatal("no recurrence coefficients recorded")
+	}
+	if &st1.CGAlphas[0] != &st2.CGAlphas[0] {
+		t.Fatal("workspace did not reuse the recurrence-coefficient memory")
+	}
+}

@@ -108,6 +108,9 @@ type Config struct {
 	History bool
 	// Seed drives the deterministic interval estimation (default 1).
 	Seed int64
+	// Workers caps the goroutine fan-out of the CG kernels (≤ 1 serial);
+	// see cg.Options.Workers.
+	Workers int
 }
 
 // Result reports a solve.
@@ -120,10 +123,17 @@ type Result struct {
 }
 
 // BuildSplitting constructs the configured splitting for a system.
+// Omega = 0 means "unset" and defaults to the paper's ω = 1; any other
+// value outside (0, 2) is rejected here, for every splitting kind, because
+// SSOR with such an ω is not a convergent splitting and the resulting
+// preconditioner silently diverges.
 func BuildSplitting(sys System, cfg Config) (splitting.Splitting, error) {
 	omega := cfg.Omega
 	if omega == 0 {
 		omega = 1
+	}
+	if omega <= 0 || omega >= 2 {
+		return nil, fmt.Errorf("core: relaxation parameter ω = %g outside (0, 2) — SSOR would diverge (set Omega to 0 for the default ω = 1)", cfg.Omega)
 	}
 	switch cfg.Splitting {
 	case SSORMulticolor:
@@ -228,6 +238,7 @@ func Solve(sys System, cfg Config) (Result, error) {
 		RelResidualTol: cfg.RelResidualTol,
 		MaxIter:        cfg.MaxIter,
 		History:        cfg.History,
+		Workers:        cfg.Workers,
 	})
 	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv}
 	return res, err

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/eigen"
+	"repro/internal/fem"
+	"repro/internal/precond"
+)
+
+// cacheEntry is one fully-prepared problem: the assembled system, the
+// estimated spectral interval (for parametrized coefficients), and a pool
+// of ready preconditioners. The system and interval are immutable after
+// build; preconditioners carry mutable sweep scratch (e.g. the
+// Conrad–Wallach auxiliary vector), so concurrent jobs each check one out
+// of the pool rather than sharing an instance.
+type cacheEntry struct {
+	key  string
+	once sync.Once
+	err  error
+
+	sys   core.System
+	plate *fem.Plate
+	// cfg is the request's solver config with the estimated interval
+	// pinned, so pooled preconditioner rebuilds never re-run the power
+	// method.
+	cfg      core.Config
+	interval eigen.Interval
+	precond  string // display name
+
+	pool sync.Pool // of precond.Preconditioner
+}
+
+// build does the expensive setup exactly once per entry: plate assembly (or
+// general-system conversion), splitting construction, interval estimation,
+// and the first preconditioner.
+func (e *cacheEntry) build(req *SolveRequest) {
+	sys, plate, err := req.assemble()
+	if err != nil {
+		e.err = err
+		return
+	}
+	cfg, err := req.Solver.config(req.Plate != nil)
+	if err != nil {
+		e.err = err
+		return
+	}
+	p, _, iv, err := core.BuildPreconditioner(sys, cfg)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.sys, e.plate, e.interval, e.precond = sys, plate, iv, p.Name()
+	if iv != (eigen.Interval{}) {
+		// Pin the estimate: later preconditioner builds reuse it.
+		cfg.Interval = &e.interval
+	}
+	e.cfg = cfg
+	e.pool.New = func() any {
+		np, _, _, err := core.BuildPreconditioner(e.sys, e.cfg)
+		if err != nil {
+			return nil // cannot happen after a successful first build
+		}
+		return np
+	}
+	e.pool.Put(p)
+}
+
+// checkout takes a preconditioner from the pool; release returns it.
+func (e *cacheEntry) checkout() precond.Preconditioner {
+	p, _ := e.pool.Get().(precond.Preconditioner)
+	return p
+}
+
+func (e *cacheEntry) release(p precond.Preconditioner) { e.pool.Put(p) }
+
+// cache is a keyed LRU of prepared problems. Concurrent misses on the same
+// key share one build (the losers block on the entry's once).
+type cache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+func newCache(max int) *cache {
+	if max < 1 {
+		max = 1
+	}
+	return &cache{max: max, lru: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, creating it on miss, and whether the entry
+// already existed. The caller must run entry.once before using the fields.
+func (c *cache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry), true
+	}
+	e := &cacheEntry{key: key}
+	c.entries[key] = c.lru.PushFront(e)
+	if c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.misses.Add(1)
+	return e, false
+}
+
+// drop removes e from the cache (used when its build fails, so the error
+// is not cached forever). It compares identity: if the key has already
+// been replaced by a newer — possibly healthy — entry, that entry stays.
+func (c *cache) drop(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok && el.Value.(*cacheEntry) == e {
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

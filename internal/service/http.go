@@ -1,0 +1,92 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds a /v1/solve body (64 MiB: a ~1M-triplet COO system).
+const maxBodyBytes = 64 << 20
+
+// solveHTTPRequest is the POST /v1/solve body: a SolveRequest plus
+// transport options.
+type solveHTTPRequest struct {
+	SolveRequest
+	// Async returns 202 + the job ID immediately; poll /v1/jobs/{id}.
+	// The default waits for the solve and returns the finished job.
+	Async bool `json:"async,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/solve     submit a solve (async or waiting)
+//	GET  /v1/jobs/{id} job status/result
+//	GET  /v1/stats     queue, cache and latency statistics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveHTTPRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(req.SolveRequest)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.viewOf(job))
+		return
+	}
+	select {
+	case <-job.Done():
+		writeJSON(w, http.StatusOK, s.viewOf(job))
+	case <-r.Context().Done():
+		// Client went away; the solve continues and stays pollable.
+	}
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

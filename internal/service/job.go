@@ -1,0 +1,96 @@
+package service
+
+import (
+	"time"
+)
+
+// JobState is the lifecycle of a submitted solve.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobResult reports a finished solve.
+type JobResult struct {
+	Converged     bool    `json:"converged"`
+	Iterations    int     `json:"iterations"`
+	MatVecs       int     `json:"matvecs"`
+	PrecondApps   int     `json:"precond_apps"`
+	InnerProducts int     `json:"inner_products"`
+	FinalUDiff    float64 `json:"final_udiff"`
+	FinalRelRes   float64 `json:"final_relres"`
+	// Precond names the preconditioner, e.g. "3-step ssor-multicolor
+	// (least-squares)".
+	Precond string `json:"precond"`
+	// IntervalLo/Hi report the spectral interval used for parametrized
+	// coefficients (0,0 when none was needed).
+	IntervalLo float64 `json:"interval_lo,omitempty"`
+	IntervalHi float64 `json:"interval_hi,omitempty"`
+	// U is the solution in the solver's ordering (multicolor for plates);
+	// omitted when the request set OmitSolution.
+	U []float64 `json:"u,omitempty"`
+	// Nodes, NodeU, NodeV are the per-free-node displacements for plate
+	// problems (solution mapped back out of the multicolor ordering).
+	Nodes []int     `json:"nodes,omitempty"`
+	NodeU []float64 `json:"node_u,omitempty"`
+	NodeV []float64 `json:"node_v,omitempty"`
+}
+
+// Job is the service's record of one solve. All mutable fields are guarded
+// by the owning Service's mutex; callers see immutable JobView snapshots.
+type Job struct {
+	id   string
+	req  SolveRequest
+	done chan struct{}
+
+	state      JobState
+	cacheHit   bool
+	result     *JobResult
+	err        error
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+}
+
+// JobView is an immutable snapshot of a job, shaped for JSON.
+type JobView struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	CacheHit bool     `json:"cache_hit"`
+	// QueuedSeconds is enqueue→start (or →now while queued); RunSeconds is
+	// start→finish (or →now while running).
+	QueuedSeconds float64    `json:"queued_seconds"`
+	RunSeconds    float64    `json:"run_seconds"`
+	Error         string     `json:"error,omitempty"`
+	Result        *JobResult `json:"result,omitempty"`
+}
+
+// view snapshots the job; the caller must hold the service mutex.
+func (j *Job) view(now time.Time) JobView {
+	v := JobView{ID: j.id, State: j.state, CacheHit: j.cacheHit, Result: j.result}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	switch j.state {
+	case JobQueued:
+		v.QueuedSeconds = now.Sub(j.enqueuedAt).Seconds()
+	case JobRunning:
+		v.QueuedSeconds = j.startedAt.Sub(j.enqueuedAt).Seconds()
+		v.RunSeconds = now.Sub(j.startedAt).Seconds()
+	default:
+		v.QueuedSeconds = j.startedAt.Sub(j.enqueuedAt).Seconds()
+		v.RunSeconds = j.finishedAt.Sub(j.startedAt).Seconds()
+	}
+	return v
+}
+
+// Done reports completion: the channel closes when the job reaches JobDone
+// or JobFailed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }

@@ -1,0 +1,262 @@
+// Package service turns the m-step PCG library into a resident solver
+// daemon: a bounded worker pool runs concurrent solves, a
+// problem/preconditioner cache amortizes plate assembly and spectral
+// interval estimation across requests (the service-level analogue of the
+// paper amortizing preconditioner construction over many cheap parallel
+// steps), and an HTTP/JSON API exposes submission, job status, and
+// operational statistics.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/sparse"
+)
+
+// PlateSpec asks for the paper's plane-stress plate problem: a rows×cols
+// node unit square, left edge clamped, right edge loaded, assembled in the
+// 6-color multicolor ordering.
+type PlateSpec struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// E, Nu, T override the material (Young's modulus, Poisson ratio,
+	// thickness). All-zero means the normalized default material.
+	E  float64 `json:"e,omitempty"`
+	Nu float64 `json:"nu,omitempty"`
+	T  float64 `json:"t,omitempty"`
+	// Traction is the right-edge load (default 1).
+	Traction float64 `json:"traction,omitempty"`
+}
+
+// SystemSpec is a general sparse SPD system in coordinate form. Duplicate
+// (I[k], J[k]) entries are summed, as finite element assembly produces.
+type SystemSpec struct {
+	N int       `json:"n"`
+	I []int     `json:"i"`
+	J []int     `json:"j"`
+	V []float64 `json:"v"`
+	F []float64 `json:"f"`
+	// Key, when non-empty, names this system for the preconditioner cache:
+	// repeated submissions with the same Key and solver settings reuse the
+	// assembled matrix and estimated spectral interval. Callers own key
+	// uniqueness — reusing a key for a different matrix returns the cached
+	// problem. Empty disables caching (general matrices are not
+	// content-addressed; hashing every triplet would cost more than it
+	// saves).
+	Key string `json:"key,omitempty"`
+}
+
+// SolverSpec selects the m-step PCG variant by name, mirroring core.Config.
+type SolverSpec struct {
+	// M is the preconditioner step count; 0 runs plain CG.
+	M int `json:"m"`
+	// Splitting is "ssor-multicolor", "ssor-natural" or "jacobi". Empty
+	// defaults to ssor-multicolor for plates and jacobi for general
+	// systems.
+	Splitting string `json:"splitting,omitempty"`
+	// Coeffs is "ones", "least-squares", "chebyshev" or "weighted-ls"
+	// (empty = ones).
+	Coeffs string `json:"coeffs,omitempty"`
+	// Omega is the SSOR relaxation parameter (0 = the paper's ω = 1).
+	Omega float64 `json:"omega,omitempty"`
+	// Tol is the paper's ‖u^{k+1}−u^k‖_∞ test; with RelResidualTol also
+	// zero it defaults to 1e-6.
+	Tol float64 `json:"tol,omitempty"`
+	// RelResidualTol adds/substitutes a relative-residual test.
+	RelResidualTol float64 `json:"rel_residual_tol,omitempty"`
+	// MaxIter bounds iterations (0 = 10n).
+	MaxIter int `json:"max_iter,omitempty"`
+}
+
+// SolveRequest is one unit of work: exactly one of Plate or System, plus
+// the solver selection.
+type SolveRequest struct {
+	Plate  *PlateSpec  `json:"plate,omitempty"`
+	System *SystemSpec `json:"system,omitempty"`
+	Solver SolverSpec  `json:"solver"`
+	// OmitSolution drops the solution vector from the result (status and
+	// convergence stats only) — for large systems polled over HTTP.
+	OmitSolution bool `json:"omit_solution,omitempty"`
+}
+
+// Size caps enforced at validation: the service is network-facing, so a
+// tiny request must not be able to commission an enormous allocation. The
+// caps are far above anything the solver handles in reasonable time.
+const (
+	// maxPlateNodes bounds rows×cols (≈ 8M unknowns).
+	maxPlateNodes = 4 << 20
+	// maxSystemN bounds a general system's dimension.
+	maxSystemN = 16 << 20
+	// maxSteps bounds the preconditioner step count m.
+	maxSteps = 4096
+)
+
+// Validate checks request shape without doing any assembly.
+func (req *SolveRequest) Validate() error {
+	if (req.Plate == nil) == (req.System == nil) {
+		return fmt.Errorf("service: request needs exactly one of plate or system")
+	}
+	if p := req.Plate; p != nil {
+		if p.Rows < 2 || p.Cols < 2 {
+			return fmt.Errorf("service: plate needs rows, cols >= 2, got %d×%d", p.Rows, p.Cols)
+		}
+		if p.Rows > maxPlateNodes/p.Cols {
+			return fmt.Errorf("service: plate %d×%d exceeds the %d-node limit", p.Rows, p.Cols, maxPlateNodes)
+		}
+		// All-zero material selects the default; anything else must be a
+		// valid material now, not a failed job later.
+		if mat := (fem.Material{E: p.E, Nu: p.Nu, T: p.T}); mat != (fem.Material{}) {
+			if err := mat.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if sy := req.System; sy != nil {
+		if sy.N <= 0 {
+			return fmt.Errorf("service: system needs n > 0, got %d", sy.N)
+		}
+		if sy.N > maxSystemN {
+			return fmt.Errorf("service: system n = %d exceeds the %d limit", sy.N, maxSystemN)
+		}
+		if len(sy.I) != len(sy.J) || len(sy.J) != len(sy.V) {
+			return fmt.Errorf("service: triplet lengths differ: |i|=%d |j|=%d |v|=%d", len(sy.I), len(sy.J), len(sy.V))
+		}
+		if len(sy.F) != sy.N {
+			return fmt.Errorf("service: rhs length %d != n %d", len(sy.F), sy.N)
+		}
+		for k := range sy.I {
+			if sy.I[k] < 0 || sy.I[k] >= sy.N || sy.J[k] < 0 || sy.J[k] >= sy.N {
+				return fmt.Errorf("service: triplet %d index (%d,%d) out of %d×%d", k, sy.I[k], sy.J[k], sy.N, sy.N)
+			}
+		}
+	}
+	if req.Solver.M < 0 {
+		return fmt.Errorf("service: negative step count m = %d", req.Solver.M)
+	}
+	if req.Solver.M > maxSteps {
+		return fmt.Errorf("service: step count m = %d exceeds the %d limit", req.Solver.M, maxSteps)
+	}
+	if o := req.Solver.Omega; o != 0 && (o <= 0 || o >= 2) {
+		return fmt.Errorf("service: relaxation parameter ω = %g outside (0, 2) (0 selects the default ω = 1)", o)
+	}
+	if _, _, err := req.Solver.kinds(req.Plate != nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// kinds resolves the splitting/coefficient names to core enums.
+func (s SolverSpec) kinds(isPlate bool) (core.SplittingKind, core.CoeffKind, error) {
+	var sk core.SplittingKind
+	switch strings.ToLower(s.Splitting) {
+	case "":
+		if isPlate {
+			sk = core.SSORMulticolor
+		} else {
+			sk = core.JacobiSplitting
+		}
+	case "ssor-multicolor":
+		sk = core.SSORMulticolor
+	case "ssor-natural":
+		sk = core.SSORNatural
+	case "jacobi":
+		sk = core.JacobiSplitting
+	default:
+		return 0, 0, fmt.Errorf("service: unknown splitting %q (want ssor-multicolor, ssor-natural or jacobi)", s.Splitting)
+	}
+	var ck core.CoeffKind
+	switch strings.ToLower(s.Coeffs) {
+	case "", "ones":
+		ck = core.Unparametrized
+	case "least-squares":
+		ck = core.LeastSquaresCoeffs
+	case "chebyshev":
+		ck = core.ChebyshevCoeffs
+	case "weighted-ls":
+		ck = core.WeightedLSCoeffs
+	default:
+		return 0, 0, fmt.Errorf("service: unknown coeffs %q (want ones, least-squares, chebyshev or weighted-ls)", s.Coeffs)
+	}
+	return sk, ck, nil
+}
+
+// config translates the spec into a core.Config (Workers and Interval are
+// filled in by the scheduler).
+func (s SolverSpec) config(isPlate bool) (core.Config, error) {
+	sk, ck, err := s.kinds(isPlate)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		M:              s.M,
+		Splitting:      sk,
+		Coeffs:         ck,
+		Omega:          s.Omega,
+		Tol:            s.Tol,
+		RelResidualTol: s.RelResidualTol,
+		MaxIter:        s.MaxIter,
+	}, nil
+}
+
+// cacheKey names the problem+preconditioner this request needs, or "" when
+// the request is uncacheable (a general system without a Key, or an
+// unresolvable solver spec). Keys are canonical: spelled-out defaults
+// ("ssor-multicolor", "ones", ω = 1) share an entry with the empty-string
+// shorthand.
+func (req *SolveRequest) cacheKey() string {
+	var problem string
+	switch {
+	case req.Plate != nil:
+		p := req.Plate
+		// Mirror fem.NewPlate's defaulting, so spelling the defaults out
+		// lands on the same entry as leaving them zero.
+		mat := fem.Material{E: p.E, Nu: p.Nu, T: p.T}
+		if mat == (fem.Material{}) {
+			mat = fem.DefaultMaterial
+		}
+		traction := p.Traction
+		if traction == 0 {
+			traction = 1
+		}
+		problem = fmt.Sprintf("plate/%dx%d/E=%g,nu=%g,t=%g/q=%g", p.Rows, p.Cols, mat.E, mat.Nu, mat.T, traction)
+	case req.System != nil && req.System.Key != "":
+		problem = "sys/" + req.System.Key
+	default:
+		return ""
+	}
+	sk, ck, err := req.Solver.kinds(req.Plate != nil)
+	if err != nil {
+		return ""
+	}
+	omega := req.Solver.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	return fmt.Sprintf("%s|%s/m=%d/%s/omega=%g", problem, sk, req.Solver.M, ck, omega)
+}
+
+// assemble builds the linear system for the request (the expensive step the
+// cache exists to skip). For plates it returns the plate alongside the
+// system.
+func (req *SolveRequest) assemble() (core.System, *fem.Plate, error) {
+	if req.Plate != nil {
+		p := req.Plate
+		opt := fem.Options{Mat: fem.Material{E: p.E, Nu: p.Nu, T: p.T}, Traction: p.Traction}
+		return core.PlateSystem(p.Rows, p.Cols, opt)
+	}
+	sy := req.System
+	coo := sparse.NewCOO(sy.N, sy.N)
+	for k := range sy.I {
+		coo.Add(sy.I[k], sy.J[k], sy.V[k])
+	}
+	k := coo.ToCSR()
+	if !k.IsSymmetric(1e-12) {
+		return core.System{}, nil, fmt.Errorf("service: system matrix is not symmetric")
+	}
+	f := make([]float64, sy.N)
+	copy(f, sy.F)
+	return core.System{K: k, F: f}, nil, nil
+}

@@ -1,0 +1,359 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cg"
+	"repro/internal/core"
+	"repro/internal/eigen"
+	"repro/internal/fem"
+	"repro/internal/precond"
+)
+
+// ErrQueueFull reports a bounded-queue rejection; HTTP maps it to 503.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed reports submission to a closed service.
+var ErrClosed = errors.New("service: closed")
+
+// Config sizes the service. Zero values pick sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent solves (default GOMAXPROCS).
+	Workers int
+	// WorkerBudget is the goroutine fan-out each solve may use for its
+	// SpMV/dot/axpy kernels. The default divides GOMAXPROCS by Workers
+	// (min 1), so Workers × WorkerBudget never oversubscribes the machine.
+	WorkerBudget int
+	// QueueDepth bounds the job queue (default 256); submissions beyond it
+	// fail fast with ErrQueueFull.
+	QueueDepth int
+	// CacheSize bounds the problem/preconditioner cache entries
+	// (default 64).
+	CacheSize int
+	// HistoryLimit bounds retained finished jobs (default 512); older
+	// finished jobs are forgotten and their IDs return 404.
+	HistoryLimit int
+	// LatencyWindow sizes the latency sample for p50/p99 (default 1024).
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = max(1, runtime.GOMAXPROCS(0)/c.Workers)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 512
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// Service runs solves on a bounded worker pool with a problem cache.
+type Service struct {
+	cfg   Config
+	queue chan *Job
+	cache *cache
+	lat   *latencyRing
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // finished job IDs in completion order, for eviction
+	closed   bool
+
+	nextID     atomic.Int64
+	running    atomic.Int64
+	jobsDone   atomic.Int64
+	jobsFailed atomic.Int64
+	totalIters atomic.Int64
+
+	started time.Time
+	wg      sync.WaitGroup
+}
+
+// New starts a service with cfg's worker pool. Call Close to drain and stop
+// it.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		cache:   newCache(cfg.CacheSize),
+		lat:     newLatencyRing(cfg.LatencyWindow),
+		jobs:    make(map[string]*Job),
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a solve, returning its job handle without
+// waiting. It fails fast with ErrQueueFull when the bounded queue is at
+// capacity.
+func (s *Service) Submit(req SolveRequest) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	job := &Job{
+		req:        req,
+		done:       make(chan struct{}),
+		state:      JobQueued,
+		enqueuedAt: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	job.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.mu.Unlock()
+		return job, nil
+	default:
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Solve submits req and waits for completion (or ctx cancellation — the
+// solve itself keeps running; only the wait is abandoned). A job-level
+// failure is returned as a non-nil error alongside the finished view,
+// which still carries any partial result.
+func (s *Service) Solve(ctx context.Context, req SolveRequest) (JobView, error) {
+	job, err := s.Submit(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	select {
+	case <-job.Done():
+		v := s.viewOf(job)
+		if v.State == JobFailed {
+			return v, fmt.Errorf("service: job %s failed: %s", v.ID, v.Error)
+		}
+		return v, nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// viewOf snapshots a job the caller already holds — unlike Job(id) it
+// cannot miss, even if the job has aged out of the lookup history.
+func (s *Service) viewOf(job *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return job.view(time.Now())
+}
+
+// Job snapshots a job by ID.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(time.Now()), true
+}
+
+// Stats snapshots the service health counters.
+func (s *Service) Stats() Stats {
+	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+	st := Stats{
+		Workers:         s.cfg.Workers,
+		WorkerBudget:    s.cfg.WorkerBudget,
+		QueueDepth:      len(s.queue),
+		QueueCap:        s.cfg.QueueDepth,
+		Running:         int(s.running.Load()),
+		JobsDone:        s.jobsDone.Load(),
+		JobsFailed:      s.jobsFailed.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		CacheEntries:    s.cache.len(),
+		TotalIterations: s.totalIters.Load(),
+		LatencyP50:      s.lat.quantile(0.50),
+		LatencyP99:      s.lat.quantile(0.99),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	}
+	if total := hits + misses; total > 0 {
+		st.CacheHitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
+// Close stops accepting jobs, drains the queue, and waits for in-flight
+// solves to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker owns one reusable CG workspace and processes jobs until the queue
+// closes: the steady-state solve path allocates only the per-job solution
+// vector.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	ws := cg.NewWorkspace(0)
+	for job := range s.queue {
+		s.runJob(job, ws)
+	}
+}
+
+func (s *Service) transition(job *Job, state JobState, result *JobResult, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	job.state = state
+	switch state {
+	case JobRunning:
+		job.startedAt = now
+	case JobDone, JobFailed:
+		job.finishedAt = now
+		job.result = result
+		job.err = err
+		s.finished = append(s.finished, job.id)
+		for len(s.finished) > s.cfg.HistoryLimit {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
+	}
+	s.mu.Unlock()
+	if state == JobDone || state == JobFailed {
+		if state == JobDone {
+			s.jobsDone.Add(1)
+		} else {
+			s.jobsFailed.Add(1)
+		}
+		s.lat.add(now.Sub(job.enqueuedAt).Seconds())
+		close(job.done)
+	}
+}
+
+// runJob resolves the problem (via the cache when the request is keyed),
+// checks out a preconditioner, and solves into a fresh solution vector
+// using the worker's scratch workspace.
+func (s *Service) runJob(job *Job, ws *cg.Workspace) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	s.transition(job, JobRunning, nil, nil)
+
+	var (
+		sys   core.System
+		plate *fem.Plate
+		pc    precond.Preconditioner
+		iv    eigen.Interval
+		name  string
+	)
+	if key := job.req.cacheKey(); key != "" {
+		// existed=false only for the requester that created the entry; every
+		// later requester (even one blocking on the first build in once.Do)
+		// reuses the assembled system and estimated interval.
+		entry, existed := s.cache.get(key)
+		entry.once.Do(func() { entry.build(&job.req) })
+		if entry.err != nil {
+			s.cache.drop(entry)
+			s.transition(job, JobFailed, nil, entry.err)
+			return
+		}
+		s.mu.Lock()
+		job.cacheHit = existed
+		s.mu.Unlock()
+		sys, plate, iv, name = entry.sys, entry.plate, entry.interval, entry.precond
+		pc = entry.checkout()
+		if pc == nil {
+			s.transition(job, JobFailed, nil, fmt.Errorf("service: preconditioner rebuild failed for %s", key))
+			return
+		}
+		defer entry.release(pc)
+	} else {
+		var err error
+		sys, plate, err = job.req.assemble()
+		if err != nil {
+			s.transition(job, JobFailed, nil, err)
+			return
+		}
+		cfg, err := job.req.Solver.config(job.req.Plate != nil)
+		if err != nil {
+			s.transition(job, JobFailed, nil, err)
+			return
+		}
+		pc, _, iv, err = core.BuildPreconditioner(sys, cfg)
+		if err != nil {
+			s.transition(job, JobFailed, nil, err)
+			return
+		}
+		name = pc.Name()
+	}
+
+	spec := job.req.Solver
+	opts := cg.Options{
+		Tol:            spec.Tol,
+		RelResidualTol: spec.RelResidualTol,
+		MaxIter:        spec.MaxIter,
+		Workers:        s.cfg.WorkerBudget,
+	}
+	if opts.Tol <= 0 && opts.RelResidualTol <= 0 {
+		opts.Tol = 1e-6
+	}
+	u := make([]float64, sys.K.Rows)
+	st, err := cg.SolveInto(u, sys.K, sys.F, pc, opts, ws)
+	s.totalIters.Add(int64(st.Iterations))
+
+	res := &JobResult{
+		Converged:     st.Converged,
+		Iterations:    st.Iterations,
+		MatVecs:       st.MatVecs,
+		PrecondApps:   st.PrecondApps,
+		InnerProducts: st.InnerProducts,
+		FinalUDiff:    st.FinalUDiff,
+		FinalRelRes:   st.FinalRelRes,
+		Precond:       name,
+		IntervalLo:    iv.Lo,
+		IntervalHi:    iv.Hi,
+	}
+	if !job.req.OmitSolution {
+		res.U = u
+		if plate != nil {
+			natural := plate.UncolorSolution(u)
+			res.Nodes = plate.Free
+			res.NodeU = make([]float64, len(plate.Free))
+			res.NodeV = make([]float64, len(plate.Free))
+			for k := range plate.Free {
+				res.NodeU[k] = natural[2*k]
+				res.NodeV[k] = natural[2*k+1]
+			}
+		}
+	}
+	if err != nil {
+		s.transition(job, JobFailed, res, err)
+		return
+	}
+	s.transition(job, JobDone, res, nil)
+}

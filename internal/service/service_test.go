@@ -1,0 +1,476 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+)
+
+func plateReq(rows, cols, m int) SolveRequest {
+	return SolveRequest{
+		Plate:  &PlateSpec{Rows: rows, Cols: cols},
+		Solver: SolverSpec{M: m, Coeffs: "least-squares", Tol: 1e-7},
+	}
+}
+
+// laplace1D builds the general-system request for the n-point 1-D
+// Laplacian with a unit load at the middle.
+func laplace1D(n int, key string) SolveRequest {
+	var i, j []int
+	var v []float64
+	add := func(a, b int, x float64) { i = append(i, a); j = append(j, b); v = append(v, x) }
+	for k := 0; k < n; k++ {
+		add(k, k, 2)
+		if k > 0 {
+			add(k, k-1, -1)
+			add(k-1, k, -1)
+		}
+	}
+	f := make([]float64, n)
+	f[n/2] = 1
+	return SolveRequest{
+		System: &SystemSpec{N: n, I: i, J: j, V: v, F: f, Key: key},
+		Solver: SolverSpec{M: 2, Splitting: "jacobi", RelResidualTol: 1e-10},
+	}
+}
+
+func TestServicePlateSolveMatchesLibrary(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	v, err := s.Solve(context.Background(), plateReq(10, 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != JobDone || v.Result == nil || !v.Result.Converged {
+		t.Fatalf("job not done/converged: %+v", v)
+	}
+
+	sys, _, err := core.PlateSystem(10, 10, fem.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Solve(sys, core.Config{M: 3, Coeffs: core.LeastSquaresCoeffs, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Result.U) != len(want.U) {
+		t.Fatalf("solution length %d != %d", len(v.Result.U), len(want.U))
+	}
+	for i := range want.U {
+		if math.Abs(v.Result.U[i]-want.U[i]) > 1e-9 {
+			t.Fatalf("solution deviates at %d: %g vs %g", i, v.Result.U[i], want.U[i])
+		}
+	}
+	if len(v.Result.Nodes) == 0 || len(v.Result.NodeU) != len(v.Result.Nodes) {
+		t.Fatalf("plate result missing node displacements: %+v", v.Result)
+	}
+}
+
+func TestServiceCacheReuse(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	first, err := s.Solve(context.Background(), plateReq(12, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first solve reported a cache hit")
+	}
+	second, err := s.Solve(context.Background(), plateReq(12, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second identical solve did not hit the cache")
+	}
+	if second.Result.Iterations != first.Result.Iterations {
+		t.Fatalf("cached solve took %d iterations vs %d — interval reuse changed the method",
+			second.Result.Iterations, first.Result.Iterations)
+	}
+	if second.Result.IntervalLo != first.Result.IntervalLo || second.Result.IntervalHi != first.Result.IntervalHi {
+		t.Fatal("cached solve re-estimated the spectral interval")
+	}
+
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats hits/misses = %d/%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.CacheEntries)
+	}
+
+	// A different problem must not hit.
+	third, err := s.Solve(context.Background(), plateReq(10, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHit {
+		t.Fatal("different plate reported a cache hit")
+	}
+}
+
+func TestServiceGeneralSystemAndKeyedCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	// Unkeyed: solves but never caches.
+	v, err := s.Solve(context.Background(), laplace1D(50, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != JobDone || !v.Result.Converged {
+		t.Fatalf("general solve failed: %+v", v)
+	}
+	if s.Stats().CacheEntries != 0 {
+		t.Fatal("unkeyed system was cached")
+	}
+
+	// Keyed: second submission reuses the assembled matrix.
+	if _, err := s.Solve(context.Background(), laplace1D(50, "lap50")); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := s.Solve(context.Background(), laplace1D(50, "lap50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("keyed resubmission missed the cache")
+	}
+}
+
+func TestServiceConcurrentSolves(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 1024})
+	defer s.Close()
+
+	const jobs = 32
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	views := make([]JobView, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Mix of identical (cacheable) and distinct problems.
+			var req SolveRequest
+			switch i % 3 {
+			case 0:
+				req = plateReq(10, 10, 2)
+			case 1:
+				req = plateReq(8, 12, 2)
+			default:
+				req = laplace1D(200, "lap200")
+			}
+			views[i], errs[i] = s.Solve(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if views[i].State != JobDone || !views[i].Result.Converged {
+			t.Fatalf("job %d not converged: %+v", i, views[i])
+		}
+	}
+	st := s.Stats()
+	if st.JobsDone != jobs {
+		t.Fatalf("jobs done = %d, want %d", st.JobsDone, jobs)
+	}
+	if st.CacheMisses != 3 {
+		t.Fatalf("cache misses = %d, want 3 (one per distinct problem)", st.CacheMisses)
+	}
+	if st.CacheHits != jobs-3 {
+		t.Fatalf("cache hits = %d, want %d", st.CacheHits, jobs-3)
+	}
+}
+
+// slowReq is a solve that reliably occupies a worker for hundreds of
+// milliseconds — much longer than a request roundtrip even on one CPU — so
+// queue-bound tests observe a busy worker: a tight residual target on a
+// larger plate with plain CG.
+func slowReq() SolveRequest {
+	return SolveRequest{
+		Plate:  &PlateSpec{Rows: 48, Cols: 48},
+		Solver: SolverSpec{M: 0, RelResidualTol: 1e-13, MaxIter: 30000},
+	}
+}
+
+func TestServiceQueueBounds(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	// Occupy the worker, then fill the 1-deep queue.
+	if _, err := s.Submit(slowReq()); err != nil {
+		t.Fatal(err)
+	}
+	var sawFull bool
+	for i := 0; i < 50 && !sawFull; i++ {
+		_, err := s.Submit(slowReq())
+		if err != nil && err != ErrQueueFull {
+			t.Fatal(err)
+		}
+		sawFull = err == ErrQueueFull
+	}
+	if !sawFull {
+		t.Fatal("bounded queue never rejected")
+	}
+}
+
+func TestServiceValidationAndFailures(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	bad := []SolveRequest{
+		{},                                    // neither plate nor system
+		{Plate: &PlateSpec{Rows: 1, Cols: 5}}, // degenerate plate
+		{Plate: &PlateSpec{Rows: 4, Cols: 4}, System: &SystemSpec{N: 2}},                                 // both
+		{Plate: &PlateSpec{Rows: 4, Cols: 4}, Solver: SolverSpec{Splitting: "cholesky"}},                 // unknown splitting
+		{Plate: &PlateSpec{Rows: 4, Cols: 4}, Solver: SolverSpec{M: 2, Coeffs: "quadrature"}},            // unknown coeffs
+		{System: &SystemSpec{N: 3, I: []int{0}, J: []int{0, 1}, V: []float64{1}, F: make([]float64, 3)}}, // ragged triplets
+		{System: &SystemSpec{N: 2, I: []int{5}, J: []int{0}, V: []float64{1}, F: make([]float64, 2)}},    // out of range
+	}
+	for i, req := range bad {
+		if _, err := s.Submit(req); err == nil {
+			t.Fatalf("bad request %d accepted", i)
+		}
+	}
+
+	// Resource caps and material validity are enforced at submission, so a
+	// tiny request cannot commission a huge allocation or a doomed job.
+	capped := []SolveRequest{
+		{Plate: &PlateSpec{Rows: 30000, Cols: 30000}},
+		{Plate: &PlateSpec{Rows: 4, Cols: 4, E: -1}},               // invalid material
+		{Plate: &PlateSpec{Rows: 4, Cols: 4, E: 1, T: 1, Nu: 0.5}}, // ν at limit
+		{System: &SystemSpec{N: 1 << 30}},
+		{Plate: &PlateSpec{Rows: 4, Cols: 4}, Solver: SolverSpec{M: 1 << 20}},
+	}
+	for i, req := range capped {
+		if _, err := s.Submit(req); err == nil {
+			t.Fatalf("oversized/invalid request %d accepted", i)
+		}
+	}
+
+	// Asymmetric system passes Validate but fails at assembly → JobFailed,
+	// and the failed build must not poison the cache.
+	asym := SolveRequest{
+		System: &SystemSpec{
+			N: 2, I: []int{0, 0, 1}, J: []int{0, 1, 1}, V: []float64{1, 0.5, 1},
+			F: []float64{1, 1}, Key: "asym",
+		},
+		Solver: SolverSpec{Splitting: "jacobi", Tol: 1e-8},
+	}
+	v, err := s.Solve(context.Background(), asym)
+	if err == nil {
+		t.Fatal("failed job returned a nil error from Solve")
+	}
+	if v.State != JobFailed || v.Error == "" {
+		t.Fatalf("asymmetric system did not fail: %+v", v)
+	}
+	if s.Stats().CacheEntries != 0 {
+		t.Fatal("failed build left a cache entry")
+	}
+
+	// Out-of-range omega is rejected up front, at submission.
+	badOmega := plateReq(6, 6, 2)
+	badOmega.Solver.Omega = 2.5
+	if _, err := s.Submit(badOmega); err == nil {
+		t.Fatal("ω = 2.5 accepted at submission")
+	}
+}
+
+func TestServiceClose(t *testing.T) {
+	s := New(Config{Workers: 2})
+	jobs := make([]*Job, 0, 8)
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(plateReq(8, 8, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	s.Close() // must drain the queue
+	for _, j := range jobs {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatal("Close returned with unfinished jobs")
+		}
+	}
+	if _, err := s.Submit(plateReq(8, 8, 1)); err != ErrClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestServiceOmitSolution(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	req := plateReq(8, 8, 2)
+	req.OmitSolution = true
+	v, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Result.U != nil || v.Result.NodeU != nil {
+		t.Fatal("omit_solution still returned vectors")
+	}
+	if !v.Result.Converged || v.Result.Iterations == 0 {
+		t.Fatalf("stats missing: %+v", v.Result)
+	}
+}
+
+func TestServiceJobLookup(t *testing.T) {
+	s := New(Config{Workers: 1, HistoryLimit: 2})
+	defer s.Close()
+	var last string
+	for i := 0; i < 5; i++ {
+		v, err := s.Solve(context.Background(), plateReq(6, 6, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = v.ID
+	}
+	if _, ok := s.Job(last); !ok {
+		t.Fatal("most recent job evicted")
+	}
+	if _, ok := s.Job("j-000001"); ok {
+		t.Fatal("history limit not enforced")
+	}
+	if _, ok := s.Job("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestServiceWorkerBudgetDefaults(t *testing.T) {
+	for _, tc := range []struct{ workers, budget, wantBudgetMin int }{
+		{1, 0, 1},
+		{4, 0, 1},
+		{2, 3, 3},
+	} {
+		cfg := Config{Workers: tc.workers, WorkerBudget: tc.budget}.withDefaults()
+		if cfg.WorkerBudget < tc.wantBudgetMin {
+			t.Fatalf("workers=%d budget=%d → %d", tc.workers, tc.budget, cfg.WorkerBudget)
+		}
+		if tc.budget == 0 && cfg.Workers*cfg.WorkerBudget > 2*max(cfg.Workers, maxprocs()) {
+			t.Fatalf("default budget oversubscribes: %d×%d", cfg.Workers, cfg.WorkerBudget)
+		}
+	}
+}
+
+func maxprocs() int {
+	cfg := Config{}.withDefaults()
+	return cfg.Workers
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, existed := c.get(k); existed {
+			t.Fatalf("fresh key %s existed", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, existed := c.get("a"); existed {
+		t.Fatal("evicted key a still present")
+	}
+	// "c" was most recent before the re-miss on "a"; "b" must be gone.
+	if _, existed := c.get("c"); !existed {
+		t.Fatal("key c evicted out of LRU order")
+	}
+}
+
+func TestStatsLatencyQuantiles(t *testing.T) {
+	r := newLatencyRing(100)
+	for i := 1; i <= 100; i++ {
+		r.add(float64(i))
+	}
+	if p50 := r.quantile(0.50); math.Abs(p50-50) > 2 {
+		t.Fatalf("p50 = %g", p50)
+	}
+	if p99 := r.quantile(0.99); math.Abs(p99-99) > 2 {
+		t.Fatalf("p99 = %g", p99)
+	}
+	// Overwrite wraps: only the latest window counts.
+	for i := 0; i < 100; i++ {
+		r.add(1000)
+	}
+	if p50 := r.quantile(0.5); p50 != 1000 {
+		t.Fatalf("post-wrap p50 = %g", p50)
+	}
+}
+
+func TestCacheKeyDistinguishesSolverSettings(t *testing.T) {
+	base := plateReq(10, 10, 3)
+	variants := []SolveRequest{
+		plateReq(10, 10, 4),
+		plateReq(10, 11, 3),
+		func() SolveRequest { r := plateReq(10, 10, 3); r.Solver.Coeffs = "chebyshev"; return r }(),
+		func() SolveRequest { r := plateReq(10, 10, 3); r.Solver.Omega = 1.2; return r }(),
+		func() SolveRequest { r := plateReq(10, 10, 3); r.Plate.E = 2; return r }(),
+	}
+	seen := map[string]bool{base.cacheKey(): true}
+	for i, v := range variants {
+		k := v.cacheKey()
+		if seen[k] {
+			t.Fatalf("variant %d collides: %s", i, k)
+		}
+		seen[k] = true
+	}
+	// Tolerance is a stopping criterion, not part of the prepared problem:
+	// it must NOT split the cache.
+	loose := plateReq(10, 10, 3)
+	loose.Solver.Tol = 1e-3
+	if loose.cacheKey() != base.cacheKey() {
+		t.Fatal("tolerance changed the cache key")
+	}
+	// Keys are canonical: spelling out the defaults lands on the same
+	// entry as the empty-string shorthand.
+	explicit := plateReq(10, 10, 3)
+	explicit.Solver.Splitting = "SSOR-Multicolor"
+	explicit.Solver.Coeffs = "Least-Squares"
+	explicit.Solver.Omega = 1
+	if explicit.cacheKey() != base.cacheKey() {
+		t.Fatalf("explicit defaults split the cache: %q vs %q", explicit.cacheKey(), base.cacheKey())
+	}
+	// Same for the material and traction defaults.
+	explicitMat := plateReq(10, 10, 3)
+	explicitMat.Plate = &PlateSpec{Rows: 10, Cols: 10, E: 1, Nu: 0.3, T: 1, Traction: 1}
+	if explicitMat.cacheKey() != base.cacheKey() {
+		t.Fatalf("explicit default material split the cache: %q vs %q", explicitMat.cacheKey(), base.cacheKey())
+	}
+	if k := (&SolveRequest{System: &SystemSpec{N: 2}}).cacheKey(); k != "" {
+		t.Fatalf("unkeyed system got cache key %q", k)
+	}
+}
+
+func TestServiceSolveContextCancel(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Solve(ctx, plateReq(20, 20, 0)); err != context.Canceled {
+		t.Fatalf("cancelled solve returned %v", err)
+	}
+}
+
+func ExampleService() {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	v, err := s.Solve(context.Background(), SolveRequest{
+		Plate:  &PlateSpec{Rows: 10, Cols: 10},
+		Solver: SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-7},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v.State, v.Result.Converged)
+	// Output: done true
+}

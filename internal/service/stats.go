@@ -1,0 +1,72 @@
+package service
+
+import (
+	"sort"
+	"sync"
+)
+
+// latencyRing keeps the most recent solve latencies for on-demand quantile
+// estimation: fixed memory, O(n log n) only when /v1/stats is asked.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	n    int
+}
+
+func newLatencyRing(size int) *latencyRing {
+	if size < 16 {
+		size = 16
+	}
+	return &latencyRing{buf: make([]float64, size)}
+}
+
+func (r *latencyRing) add(v float64) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// quantile returns the q-th (0..1) latency over the retained window, 0 when
+// empty.
+func (r *latencyRing) quantile(q float64) float64 {
+	r.mu.Lock()
+	sample := append([]float64(nil), r.buf[:r.n]...)
+	r.mu.Unlock()
+	if len(sample) == 0 {
+		return 0
+	}
+	sort.Float64s(sample)
+	idx := int(q * float64(len(sample)-1))
+	return sample[idx]
+}
+
+// Stats is the /v1/stats payload: scheduler, cache, and latency health.
+type Stats struct {
+	Workers      int `json:"workers"`
+	WorkerBudget int `json:"worker_budget"`
+	QueueDepth   int `json:"queue_depth"`
+	QueueCap     int `json:"queue_cap"`
+	Running      int `json:"running"`
+
+	JobsDone   int64 `json:"jobs_done"`
+	JobsFailed int64 `json:"jobs_failed"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	TotalIterations int64 `json:"total_iterations"`
+
+	// LatencyP50/P99 are solve latencies (enqueue→finish) in seconds over
+	// the recent-job window.
+	LatencyP50 float64 `json:"latency_p50_seconds"`
+	LatencyP99 float64 `json:"latency_p99_seconds"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}

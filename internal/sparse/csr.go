@@ -60,8 +60,14 @@ func (a *CSR) MulVecTo(dst, x []float64) {
 
 // ParMulVecTo computes dst = A·x with rows partitioned across up to
 // `workers` goroutines. Each goroutine owns a contiguous row block, so the
-// result is bitwise identical to the serial product.
+// result is bitwise identical to the serial product. workers == 1 takes
+// the serial path without allocating (the allocation-free cg.SolveInto
+// contract relies on this); workers <= 0 means GOMAXPROCS.
 func (a *CSR) ParMulVecTo(dst, x []float64, workers int) {
+	if workers == 1 {
+		a.MulVecTo(dst, x)
+		return
+	}
 	if len(x) != a.Cols || len(dst) != a.Rows {
 		panic(fmt.Sprintf("sparse: ParMulVecTo dims: A %d×%d, x %d, dst %d", a.Rows, a.Cols, len(x), len(dst)))
 	}

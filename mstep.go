@@ -9,6 +9,7 @@ import (
 	"repro/internal/fem"
 	"repro/internal/femachine"
 	"repro/internal/mesh"
+	"repro/internal/service"
 	"repro/internal/sparse"
 	"repro/internal/vectorsim"
 )
@@ -178,3 +179,32 @@ const (
 	RowStrips = mesh.RowStrips
 	ColStrips = mesh.ColStrips
 )
+
+// Solver service types: the resident daemon form of the library. A Service
+// runs concurrent solves on a bounded worker pool, caches assembled
+// problems and estimated spectral intervals across requests, and serves an
+// HTTP/JSON API (Service.Handler; see cmd/solverd).
+type (
+	// Service is a running solver service.
+	Service = service.Service
+	// ServiceConfig sizes the worker pool, queue, and cache.
+	ServiceConfig = service.Config
+	// SolveRequest is one unit of service work (a plate or a general
+	// system, plus solver settings).
+	SolveRequest = service.SolveRequest
+	// PlateSpec requests the paper's plane-stress plate problem.
+	PlateSpec = service.PlateSpec
+	// SystemSpec requests a general sparse SPD solve in coordinate form.
+	SystemSpec = service.SystemSpec
+	// SolverSpec selects the m-step PCG variant by name.
+	SolverSpec = service.SolverSpec
+	// JobView is an immutable snapshot of a submitted job.
+	JobView = service.JobView
+	// ServiceStats is the service health report (queue depth, cache hit
+	// rate, latency percentiles).
+	ServiceStats = service.Stats
+)
+
+// NewService starts a solver service. Call Close on the returned service to
+// drain queued jobs and stop the workers.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -151,5 +152,80 @@ func TestPublicFEMachineRejectsGeneralProblem(t *testing.T) {
 	}
 	if _, _, _, err := p.NodeDisplacements(repro.Result{}); err == nil {
 		t.Fatal("NodeDisplacements on general problem accepted")
+	}
+}
+
+func TestPublicPlateRejectsBadInput(t *testing.T) {
+	if _, err := repro.NewPlateProblem(1, 5); err == nil {
+		t.Fatal("degenerate plate accepted")
+	}
+	// Invalid material: negative Young's modulus.
+	if _, err := repro.NewPlateProblemWithMaterial(5, 5, repro.Material{E: -1, Nu: 0.3, T: 1}, 1); err == nil {
+		t.Fatal("negative Young's modulus accepted")
+	}
+	// Poisson ratio at the incompressible limit.
+	if _, err := repro.NewPlateProblemWithMaterial(5, 5, repro.Material{E: 1, Nu: 0.5, T: 1}, 1); err == nil {
+		t.Fatal("ν = 0.5 accepted")
+	}
+}
+
+func TestPublicSolveRejectsBadOmega(t *testing.T) {
+	p, err := repro.NewPlateProblem(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, omega := range []float64{-0.5, 2, 3} {
+		if _, err := repro.Solve(p, repro.Config{M: 2, Omega: omega, Tol: 1e-6}); err == nil {
+			t.Fatalf("ω = %g accepted", omega)
+		}
+	}
+}
+
+func TestPublicEstimateConditionNeedsIterations(t *testing.T) {
+	if _, _, _, err := repro.EstimateCondition(repro.Result{}); err == nil {
+		t.Fatal("condition estimate from an empty run accepted")
+	}
+}
+
+func TestPublicService(t *testing.T) {
+	svc := repro.NewService(repro.ServiceConfig{Workers: 2})
+	defer svc.Close()
+
+	req := repro.SolveRequest{
+		Plate:  &repro.PlateSpec{Rows: 10, Cols: 10},
+		Solver: repro.SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-7},
+	}
+	cold, err := svc.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Result.Converged || cold.CacheHit {
+		t.Fatalf("cold solve: %+v", cold)
+	}
+	warm, err := svc.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second identical solve missed the cache")
+	}
+
+	// The service solution matches the library path end to end.
+	p, err := repro.NewPlateProblem(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Solve(p, repro.Config{M: 3, Coeffs: repro.LeastSquaresCoeffs, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.U {
+		if math.Abs(res.U[i]-warm.Result.U[i]) > 1e-9 {
+			t.Fatalf("service solution deviates at %d", i)
+		}
+	}
+
+	if st := svc.Stats(); st.CacheHits < 1 || st.JobsDone != 2 {
+		t.Fatalf("service stats: %+v", st)
 	}
 }
