@@ -353,6 +353,110 @@ func BenchmarkPoissonCG(b *testing.B) {
 
 // --- Service: solves/sec at increasing concurrency ------------------------
 
+// --- Batched multi-RHS block solves -----------------------------------
+
+// BenchmarkBatchedSolve compares s sequential SolveInto runs against one
+// block solve of the same s right-hand sides on a cached plate (system and
+// preconditioner prebuilt, workspaces warm — the solver service's steady
+// state). The block solve shares one SpMM and one block preconditioner
+// sweep per iteration across the batch; the acceptance target is ≥1.3×
+// throughput at s=8 (compare the rhs/s metrics).
+func BenchmarkBatchedSolve(b *testing.B) {
+	sys, _, err := core.PlateSystem(100, 100, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{M: 3, Splitting: core.SSORMulticolor, Coeffs: core.LeastSquaresCoeffs}
+	pc, _, _, err := core.BuildPreconditioner(sys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := cg.Options{Tol: 1e-7, MaxIter: 5000}
+	n := sys.K.Rows
+	for _, s := range []int{2, 8} {
+		f := vec.NewMulti(n, s)
+		for j := 0; j < s; j++ {
+			scale := float64(j+1) / 4
+			for i, v := range sys.F {
+				f.Col(j)[i] = scale * v
+			}
+		}
+		b.Run(fmt.Sprintf("sequential/s=%d", s), func(b *testing.B) {
+			ws := cg.NewWorkspace(n)
+			u := make([]float64, n)
+			var iters int
+			for i := 0; i < b.N; i++ {
+				iters = 0
+				for j := 0; j < s; j++ {
+					st, err := cg.SolveInto(u, sys.K, f.Col(j), pc, opt, ws)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters += st.Iterations
+				}
+			}
+			b.ReportMetric(float64(iters), "col-iters")
+			b.ReportMetric(float64(s)*float64(b.N)/b.Elapsed().Seconds(), "rhs/s")
+		})
+		b.Run(fmt.Sprintf("block/s=%d", s), func(b *testing.B) {
+			bws := cg.NewBlockWorkspace(n, s)
+			u := vec.NewMulti(n, s)
+			var spmms int
+			for i := 0; i < b.N; i++ {
+				st, err := cg.SolveBlockInto(u, sys.K, f, pc, opt, bws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				spmms = st.SpMMs
+			}
+			b.ReportMetric(float64(spmms), "spmms")
+			b.ReportMetric(float64(s)*float64(b.N)/b.Elapsed().Seconds(), "rhs/s")
+		})
+	}
+}
+
+// BenchmarkSpMM measures the matrix–multivector kernels against s repeated
+// SpMVs over the paper's plate matrix in CSR and DIA storage.
+func BenchmarkSpMM(b *testing.B) {
+	sys, _, err := core.PlateSystem(40, 40, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sys.K
+	dia := sparse.NewDIAFromCSR(k)
+	n := k.Rows
+	const s = 8
+	x := vec.NewMulti(n, s)
+	for i := range x.Data {
+		x.Data[i] = float64(i%13) - 6
+	}
+	dst := vec.NewMulti(n, s)
+	b.Run("csr/spmv-x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < s; j++ {
+				k.MulVecTo(dst.Col(j), x.Col(j))
+			}
+		}
+	})
+	b.Run("csr/spmm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k.MulMatTo(dst, x)
+		}
+	})
+	b.Run("dia/spmv-x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < s; j++ {
+				dia.MulVecTo(dst.Col(j), x.Col(j))
+			}
+		}
+	})
+	b.Run("dia/spmm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dia.MulMatTo(dst, x)
+		}
+	})
+}
+
 func BenchmarkServiceThroughput(b *testing.B) {
 	req := repro.SolveRequest{
 		Plate:        &repro.PlateSpec{Rows: 20, Cols: 20},

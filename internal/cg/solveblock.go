@@ -1,0 +1,363 @@
+package cg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// BlockStats reports a block (multi-right-hand-side) solve: the shared
+// per-iteration work — exactly one SpMM and one block preconditioner
+// application per outer iteration — plus per-column recurrence statistics.
+type BlockStats struct {
+	// RHS is the number of right-hand sides s.
+	RHS int
+	// Iterations is the number of outer block iterations (the maximum over
+	// columns, since converged columns deflate out of later iterations).
+	Iterations int
+	// SpMMs counts matrix–multivector products: exactly one per outer
+	// iteration, shared by every active column.
+	SpMMs int
+	// BlockPrecondApps counts block preconditioner applications (one
+	// m-step sweep serving all active columns).
+	BlockPrecondApps int
+	// InnerProducts counts per-column inner-product evaluations, the
+	// paper's bottleneck metric, summed over columns.
+	InnerProducts int
+	// Converged reports that every column converged.
+	Converged bool
+	// Cols holds per-column statistics indexed by right-hand-side:
+	// Iterations is the count while the column was active, FinalUDiff /
+	// FinalRelRes are its last stopping-test values. Cols aliases the
+	// workspace; copy entries that must survive the next solve.
+	Cols []Stats
+	// ColErrs holds the per-column failure (breakdown or iteration-limit),
+	// indexed like Cols; nil entries converged (or stopped cleanly).
+	ColErrs []error
+}
+
+// BlockWorkspace holds the scratch for SolveBlockInto, so repeated block
+// solves of same-shaped batches (the solver service's steady state)
+// allocate nothing. Not safe for concurrent use; give each worker its own.
+type BlockWorkspace struct {
+	r, rhat, p, kp *vec.Multi
+
+	// Active-prefix views, re-pointed (not reallocated) as converged
+	// columns deflate; kernels receive these so the steady state stays
+	// allocation-free.
+	rv, rhatv, pv, kpv vec.Multi
+
+	// Per-slot scalars (slot = position in the active prefix).
+	rho, pkp, alpha, beta, normF []float64
+	// perm maps slot -> original right-hand-side index.
+	perm []int
+
+	cols []Stats
+	errs []error
+}
+
+// NewBlockWorkspace returns a workspace sized for n-dimensional systems
+// with s right-hand sides. It grows automatically when later used for a
+// larger system or batch.
+func NewBlockWorkspace(n, s int) *BlockWorkspace {
+	w := &BlockWorkspace{}
+	w.ensure(n, s)
+	return w
+}
+
+// ensure sizes every buffer for an n×s solve, reallocating only on growth.
+func (w *BlockWorkspace) ensure(n, s int) {
+	if w.r == nil || w.r.N < n || w.r.S < s {
+		// Grow to the larger of the current and requested shapes so a big
+		// batch on a small system does not shrink capacity for either axis.
+		nn, ss := n, s
+		if w.r != nil {
+			nn = max(nn, w.r.N)
+			ss = max(ss, w.r.S)
+		}
+		w.r = vec.NewMulti(nn, ss)
+		w.rhat = vec.NewMulti(nn, ss)
+		w.p = vec.NewMulti(nn, ss)
+		w.kp = vec.NewMulti(nn, ss)
+	}
+	if cap(w.rho) < s {
+		w.rho = make([]float64, s)
+		w.pkp = make([]float64, s)
+		w.alpha = make([]float64, s)
+		w.beta = make([]float64, s)
+		w.normF = make([]float64, s)
+		w.perm = make([]int, s)
+	}
+	w.rho, w.pkp, w.alpha, w.beta, w.normF = w.rho[:s], w.pkp[:s], w.alpha[:s], w.beta[:s], w.normF[:s]
+	w.perm = w.perm[:s]
+	if cap(w.cols) < s {
+		w.cols = make([]Stats, s)
+		w.errs = make([]error, s)
+	}
+	w.cols, w.errs = w.cols[:s], w.errs[:s]
+}
+
+// block points the working views at an n-row, s-column reinterpretation of
+// each scratch Multi's front. The backing buffers may have grown larger
+// than n×s; the views pack the s columns contiguously at stride n.
+func (w *BlockWorkspace) block(n, s int) {
+	view := func(m *vec.Multi) vec.Multi {
+		return vec.Multi{N: n, S: s, Data: m.Data[:n*s]}
+	}
+	w.rv, w.rhatv, w.pv, w.kpv = view(w.r), view(w.rhat), view(w.p), view(w.kp)
+}
+
+// setActive re-points the working views at the first act columns.
+func (w *BlockWorkspace) setActive(n, act int) {
+	w.rv.S, w.rhatv.S, w.pv.S, w.kpv.S = act, act, act, act
+	w.rv.Data = w.rv.Data[:n*act]
+	w.rhatv.Data = w.rhatv.Data[:n*act]
+	w.pv.Data = w.pv.Data[:n*act]
+	w.kpv.Data = w.kpv.Data[:n*act]
+}
+
+// SolveBlock runs block PCG on K·U = F for a batch of right-hand sides,
+// allocating its own result and scratch. Allocation-sensitive callers use
+// SolveBlockInto with a reused workspace.
+func SolveBlock(k *sparse.CSR, f *vec.Multi, m precond.Preconditioner, opt Options) (*vec.Multi, BlockStats, error) {
+	u := vec.NewMulti(k.Rows, f.S)
+	st, err := SolveBlockInto(u, k, f, m, opt, nil)
+	return u, st, err
+}
+
+// SolveBlockInto runs preconditioned CG on s systems K·u_j = f_j sharing
+// one matrix and one preconditioner: s independent scalar CG recurrences
+// advance in lockstep, but every iteration performs exactly one
+// matrix–multivector product (Stats.SpMMs) and one block preconditioner
+// application — the per-iteration memory traffic over K is amortized over
+// all s right-hand sides, the multi-RHS form of the paper's
+// long-vector-operation argument. Each column runs the paper's stopping
+// tests independently; converged (or broken-down) columns are deflated —
+// swapped out of the active prefix — so later iterations do no work for
+// them. Column j's iterates match a scalar SolveInto on (K, f_j) exactly,
+// because every fused kernel preserves per-column arithmetic order.
+//
+// u receives the solutions (always starting from the zero iterate;
+// opt.X0 is rejected). opt.History, opt.OnIteration and
+// opt.VerifyResidual are scalar-solve options and are ignored here. With a
+// warm workspace and Workers ≤ 1 the steady state performs no heap
+// allocation; the returned BlockStats.Cols/ColErrs alias the workspace, so
+// copy them before its next solve if they must survive it.
+//
+// The returned error is nil only when every column converged; otherwise it
+// joins the per-column failures (also available in BlockStats.ColErrs).
+func SolveBlockInto(u *vec.Multi, k *sparse.CSR, f *vec.Multi, m precond.Preconditioner, opt Options, ws *BlockWorkspace) (BlockStats, error) {
+	n := k.Rows
+	s := f.S
+	if k.Cols != n {
+		return BlockStats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", k.Rows, k.Cols)
+	}
+	if f.N != n {
+		return BlockStats{}, fmt.Errorf("cg: rhs block is %d×%d, want %d rows", f.N, f.S, n)
+	}
+	if u.N != n || u.S != s {
+		return BlockStats{}, fmt.Errorf("cg: iterate block is %d×%d, want %d×%d", u.N, u.S, n, s)
+	}
+	if s < 1 {
+		return BlockStats{}, fmt.Errorf("cg: block solve needs at least one right-hand side")
+	}
+	if opt.X0 != nil {
+		return BlockStats{}, fmt.Errorf("cg: block solve starts from the zero iterate (X0 unsupported)")
+	}
+	if opt.Tol <= 0 && opt.RelResidualTol <= 0 {
+		return BlockStats{}, fmt.Errorf("cg: no stopping test enabled (Tol and RelResidualTol both unset)")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+	}
+	if m == nil {
+		m = precond.Identity{}
+	}
+	if ws == nil {
+		ws = NewBlockWorkspace(n, s)
+	}
+	ws.ensure(n, s)
+	ws.block(n, s)
+	w := opt.Workers
+	if w < 1 {
+		w = 1
+	}
+
+	st := BlockStats{RHS: s, Cols: ws.cols, ColErrs: ws.errs}
+	for j := range ws.cols {
+		ws.cols[j] = Stats{TrueRelRes: -1}
+		ws.errs[j] = nil
+		ws.perm[j] = j
+	}
+
+	// u⁰ = 0, so r⁰ = f with no initial product; every SpMM below is one of
+	// the per-iteration products the acceptance criterion counts.
+	u.Zero()
+	ws.rv.CopyFrom(f)
+	for j := 0; j < s; j++ {
+		nf := vec.Norm2(f.Col(j))
+		if nf == 0 {
+			nf = 1 // homogeneous column: absolute residual test
+		}
+		ws.normF[j] = nf
+	}
+
+	act := s
+	// deflate retires the column in the given active slot: its per-column
+	// bookkeeping is already final, so swap it (and every per-slot scalar
+	// the remaining iterations still read) past the active prefix.
+	deflate := func(slot int) {
+		last := act - 1
+		if slot != last {
+			ws.rv.SwapCols(slot, last)
+			ws.rhatv.SwapCols(slot, last)
+			ws.pv.SwapCols(slot, last)
+			ws.kpv.SwapCols(slot, last)
+			ws.rho[slot], ws.rho[last] = ws.rho[last], ws.rho[slot]
+			ws.pkp[slot], ws.pkp[last] = ws.pkp[last], ws.pkp[slot]
+			ws.alpha[slot], ws.alpha[last] = ws.alpha[last], ws.alpha[slot]
+			ws.beta[slot], ws.beta[last] = ws.beta[last], ws.beta[slot]
+			ws.normF[slot], ws.normF[last] = ws.normF[last], ws.normF[slot]
+			ws.perm[slot], ws.perm[last] = ws.perm[last], ws.perm[slot]
+		}
+		act--
+		ws.setActive(n, act)
+	}
+
+	// M r̂⁰ = r⁰ ; p⁰ = r̂⁰ ; ρ⁰_j = (r̂_j, r_j).
+	precond.ApplyBlock(m, &ws.rhatv, &ws.rv)
+	st.BlockPrecondApps++
+	ws.pv.CopyFrom(&ws.rhatv)
+	vec.ParMultiDot(&ws.rhatv, &ws.rv, w, ws.rho[:act])
+	st.InnerProducts += act
+	for j := 0; j < s; j++ {
+		ws.cols[j].PrecondApps++
+		ws.cols[j].InnerProducts++
+	}
+	for slot := act - 1; slot >= 0; slot-- {
+		j := ws.perm[slot]
+		switch {
+		case ws.rho[slot] < 0:
+			ws.errs[j] = ErrBreakdownPrecond
+			deflate(slot)
+		case ws.rho[slot] == 0: // zero residual: the zero iterate solves column j
+			ws.cols[j].Converged = true
+			deflate(slot)
+		}
+	}
+
+	for act > 0 && st.Iterations < opt.MaxIter {
+		st.Iterations++
+
+		// One SpMM feeds every active column: KP = K·P.
+		k.ParMulMatTo(&ws.kpv, &ws.pv, w)
+		st.SpMMs++
+		vec.ParMultiDot(&ws.pv, &ws.kpv, w, ws.pkp[:act])
+		st.InnerProducts += act
+		for slot := 0; slot < act; slot++ {
+			c := &ws.cols[ws.perm[slot]]
+			c.MatVecs++
+			c.InnerProducts++
+		}
+		// Matrix breakdowns deflate before the iterate update, exactly
+		// where SolveInto stops.
+		for slot := act - 1; slot >= 0; slot-- {
+			if ws.pkp[slot] <= 0 {
+				ws.errs[ws.perm[slot]] = ErrBreakdownMatrix
+				deflate(slot)
+			}
+		}
+		if act == 0 {
+			break
+		}
+
+		for slot := 0; slot < act; slot++ {
+			ws.alpha[slot] = ws.rho[slot] / ws.pkp[slot]
+		}
+		// u_j += α_j p_j ; the paper's test quantity ‖u^{k+1}−u^k‖_∞ is
+		// |α_j|·‖p_j‖_∞ per column.
+		for slot := 0; slot < act; slot++ {
+			j := ws.perm[slot]
+			vec.ParAxpy(ws.alpha[slot], ws.pv.Col(slot), u.Col(j), w)
+			c := &ws.cols[j]
+			c.Iterations++
+			c.FinalUDiff = math.Abs(ws.alpha[slot]) * vec.NormInf(ws.pv.Col(slot))
+		}
+		// r_j −= α_j K p_j, fused across the block.
+		for slot := 0; slot < act; slot++ {
+			ws.beta[slot] = -ws.alpha[slot] // beta doubles as −α scratch here
+		}
+		vec.ParMultiAxpy(ws.beta[:act], &ws.kpv, &ws.rv, w)
+		for slot := 0; slot < act; slot++ {
+			c := &ws.cols[ws.perm[slot]]
+			c.FinalRelRes = vec.Norm2(ws.rv.Col(slot)) / ws.normF[slot]
+		}
+		// Per-column stopping tests; converged columns deflate out.
+		for slot := act - 1; slot >= 0; slot-- {
+			c := &ws.cols[ws.perm[slot]]
+			if (opt.Tol > 0 && c.FinalUDiff < opt.Tol) || (opt.RelResidualTol > 0 && c.FinalRelRes < opt.RelResidualTol) {
+				c.Converged = true
+				deflate(slot)
+			}
+		}
+		if act == 0 {
+			break
+		}
+
+		// One block application serves every surviving column:
+		// M r̂_j = r_j.
+		precond.ApplyBlock(m, &ws.rhatv, &ws.rv)
+		st.BlockPrecondApps++
+		vec.ParMultiDot(&ws.rhatv, &ws.rv, w, ws.pkp[:act]) // pkp doubles as ρ' scratch
+		st.InnerProducts += act
+		for slot := 0; slot < act; slot++ {
+			c := &ws.cols[ws.perm[slot]]
+			c.PrecondApps++
+			c.InnerProducts++
+		}
+		for slot := act - 1; slot >= 0; slot-- {
+			j := ws.perm[slot]
+			switch {
+			case ws.pkp[slot] < 0:
+				ws.errs[j] = ErrBreakdownPrecond
+				deflate(slot)
+			case ws.pkp[slot] == 0:
+				// (M⁻¹r, r) = 0 with SPD M means r = 0: exact convergence.
+				ws.cols[j].Converged = true
+				deflate(slot)
+			}
+		}
+		if act == 0 {
+			break
+		}
+
+		for slot := 0; slot < act; slot++ {
+			ws.beta[slot] = ws.pkp[slot] / ws.rho[slot]
+			ws.rho[slot] = ws.pkp[slot]
+		}
+		// p_j = r̂_j + β_j p_j, fused across the block.
+		vec.ParMultiXpay(&ws.rhatv, ws.beta[:act], &ws.pv, w)
+	}
+
+	for slot := 0; slot < act; slot++ {
+		ws.errs[ws.perm[slot]] = ErrMaxIterations
+	}
+	st.Converged = true
+	for j := range ws.cols {
+		if !ws.cols[j].Converged {
+			st.Converged = false
+			break
+		}
+	}
+	var errs []error
+	for j, e := range ws.errs {
+		if e != nil {
+			errs = append(errs, fmt.Errorf("cg: rhs %d: %w", j, e))
+		}
+	}
+	return st, errors.Join(errs...)
+}

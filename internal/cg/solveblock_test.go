@@ -1,0 +1,287 @@
+package cg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/poly"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/splitting"
+	"repro/internal/vec"
+)
+
+func blockFixture(t *testing.T, s int) (*sparse.CSR, *vec.Multi, precond.Preconditioner) {
+	t.Helper()
+	k := model.Poisson2D(15, 15)
+	rng := rand.New(rand.NewSource(11))
+	f := vec.NewMulti(k.Rows, s)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	j, err := splitting.NewJacobi(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := precond.NewMStep(j, poly.Ones(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, f, p
+}
+
+// TestSolveBlockMatchesSolveInto: every column of a block solve must agree
+// with an independent scalar solve of the same column within 1e-10 (they
+// are in fact designed to match exactly; the tolerance is the acceptance
+// criterion's bound).
+func TestSolveBlockMatchesSolveInto(t *testing.T) {
+	const s = 6
+	k, f, p := blockFixture(t, s)
+	opt := Options{Tol: 1e-9, MaxIter: 5000}
+
+	u, st, err := SolveBlock(k, f, p, opt)
+	if err != nil {
+		t.Fatalf("block solve: %v", err)
+	}
+	if !st.Converged || st.RHS != s {
+		t.Fatalf("block stats: converged=%v rhs=%d", st.Converged, st.RHS)
+	}
+	for j := 0; j < s; j++ {
+		want := make([]float64, k.Rows)
+		wst, err := SolveInto(want, k, f.Col(j), p, opt, nil)
+		if err != nil {
+			t.Fatalf("scalar solve col %d: %v", j, err)
+		}
+		var maxd float64
+		for i := range want {
+			if d := math.Abs(u.Col(j)[i] - want[i]); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-10 {
+			t.Fatalf("col %d differs from SolveInto by %g (> 1e-10)", j, maxd)
+		}
+		if st.Cols[j].Iterations != wst.Iterations {
+			t.Fatalf("col %d iterations %d != scalar %d", j, st.Cols[j].Iterations, wst.Iterations)
+		}
+		if !st.Cols[j].Converged {
+			t.Fatalf("col %d not converged", j)
+		}
+	}
+}
+
+// TestSolveBlockOneSpMMPerIteration: the acceptance criterion — Stats
+// counts exactly one SpMM per outer iteration, regardless of batch width.
+func TestSolveBlockOneSpMMPerIteration(t *testing.T) {
+	k, f, p := blockFixture(t, 8)
+	st, err := solveBlockFresh(k, f, p, Options{Tol: 1e-8, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SpMMs != st.Iterations {
+		t.Fatalf("SpMMs = %d, Iterations = %d: want exactly one SpMM per iteration", st.SpMMs, st.Iterations)
+	}
+	if st.Iterations == 0 {
+		t.Fatal("expected at least one iteration")
+	}
+	// The block preconditioner is applied once before the loop and once per
+	// non-final iteration (converged columns skip the trailing apply).
+	if st.BlockPrecondApps > st.Iterations+1 {
+		t.Fatalf("BlockPrecondApps = %d > iterations+1 = %d", st.BlockPrecondApps, st.Iterations+1)
+	}
+}
+
+func solveBlockFresh(k *sparse.CSR, f *vec.Multi, p precond.Preconditioner, opt Options) (BlockStats, error) {
+	u := vec.NewMulti(k.Rows, f.S)
+	return SolveBlockInto(u, k, f, p, opt, nil)
+}
+
+// TestSolveBlockDeflation: a zero column converges on the spot; an easy
+// column (the solution one step away is not achievable here, so instead use
+// wildly different tolerances via scaling) deflates earlier than a hard
+// one, and per-column iteration counts reflect it.
+func TestSolveBlockDeflation(t *testing.T) {
+	k := model.Poisson2D(12, 12)
+	n := k.Rows
+	f := vec.NewMulti(n, 3)
+	// Column 0: zero RHS — converged at iteration 0.
+	// Column 1: a smooth RHS.
+	// Column 2: a rough RHS (slower to converge for CG without precond).
+	for i := 0; i < n; i++ {
+		f.Col(1)[i] = 1
+		f.Col(2)[i] = float64((i%7)-3) * math.Pow(-1, float64(i%2))
+	}
+	u := vec.NewMulti(n, 3)
+	st, err := SolveBlockInto(u, k, f, nil, Options{RelResidualTol: 1e-10, MaxIter: 5000}, nil)
+	if err != nil {
+		t.Fatalf("block solve: %v", err)
+	}
+	if !st.Converged {
+		t.Fatal("expected full convergence")
+	}
+	if st.Cols[0].Iterations != 0 || !st.Cols[0].Converged {
+		t.Fatalf("zero column should converge instantly, got %d iterations", st.Cols[0].Iterations)
+	}
+	for i := 0; i < n; i++ {
+		if u.Col(0)[i] != 0 {
+			t.Fatalf("zero column solution nonzero at %d", i)
+		}
+	}
+	if st.Cols[1].Iterations > st.Iterations || st.Cols[2].Iterations > st.Iterations {
+		t.Fatal("per-column iterations exceed outer iterations")
+	}
+	if st.Iterations != max(st.Cols[1].Iterations, st.Cols[2].Iterations) {
+		t.Fatalf("outer iterations %d != max per-column (%d, %d)",
+			st.Iterations, st.Cols[1].Iterations, st.Cols[2].Iterations)
+	}
+	// Deflation must not corrupt the surviving columns: check residuals.
+	for j := 1; j < 3; j++ {
+		r := make([]float64, n)
+		k.MulVecTo(r, u.Col(j))
+		vec.Sub(r, f.Col(j), r)
+		if rel := vec.Norm2(r) / vec.Norm2(f.Col(j)); rel > 1e-9 {
+			t.Fatalf("col %d true residual %g after deflation", j, rel)
+		}
+	}
+}
+
+// TestSolveBlockMaxIter: columns still active at the iteration limit report
+// ErrMaxIterations, per column and joined.
+func TestSolveBlockMaxIter(t *testing.T) {
+	k, f, p := blockFixture(t, 3)
+	u := vec.NewMulti(k.Rows, 3)
+	st, err := SolveBlockInto(u, k, f, p, Options{Tol: 1e-12, MaxIter: 2}, nil)
+	if err == nil {
+		t.Fatal("expected iteration-limit error")
+	}
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("want ErrMaxIterations, got %v", err)
+	}
+	if st.Converged {
+		t.Fatal("stats claim convergence at MaxIter=2")
+	}
+	for j := 0; j < 3; j++ {
+		if !errors.Is(st.ColErrs[j], ErrMaxIterations) {
+			t.Fatalf("col %d error = %v", j, st.ColErrs[j])
+		}
+	}
+}
+
+// TestSolveBlockBreakdownColumnIsolated: an indefinite system breaks down,
+// but per-column errors identify it without aborting the whole batch
+// machinery (all columns here share the bad matrix, so all report it).
+func TestSolveBlockBreakdownIndefinite(t *testing.T) {
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, -1) // indefinite
+	k := c.ToCSR()
+	f := vec.MultiFromCols([][]float64{{1, 1}, {2, -1}})
+	u := vec.NewMulti(2, 2)
+	st, err := SolveBlockInto(u, k, f, nil, Options{Tol: 1e-10}, nil)
+	if err == nil {
+		t.Fatal("expected breakdown error")
+	}
+	if !errors.Is(err, ErrBreakdownMatrix) {
+		t.Fatalf("want ErrBreakdownMatrix, got %v", err)
+	}
+	found := false
+	for j := range st.ColErrs {
+		if errors.Is(st.ColErrs[j], ErrBreakdownMatrix) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no per-column breakdown recorded")
+	}
+}
+
+// TestSolveBlockInputValidation covers the argument checks.
+func TestSolveBlockInputValidation(t *testing.T) {
+	k := model.Laplacian1D(4)
+	f := vec.NewMulti(4, 2)
+	u := vec.NewMulti(4, 2)
+	if _, err := SolveBlockInto(u, k, vec.NewMulti(3, 2), nil, Options{Tol: 1e-8}, nil); err == nil {
+		t.Fatal("rhs row mismatch accepted")
+	}
+	if _, err := SolveBlockInto(vec.NewMulti(4, 1), k, f, nil, Options{Tol: 1e-8}, nil); err == nil {
+		t.Fatal("iterate shape mismatch accepted")
+	}
+	if _, err := SolveBlockInto(u, k, f, nil, Options{}, nil); err == nil {
+		t.Fatal("no stopping test accepted")
+	}
+	if _, err := SolveBlockInto(u, k, f, nil, Options{Tol: 1e-8, X0: make([]float64, 4)}, nil); err == nil {
+		t.Fatal("X0 accepted by block solve")
+	}
+	if _, err := SolveBlockInto(u, k, vec.NewMulti(4, 0), nil, Options{Tol: 1e-8}, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestSolveBlockWorkspaceReuseAndParallel: a warm workspace must be
+// reusable across shapes, and the parallel kernels must reproduce the
+// serial solution.
+func TestSolveBlockWorkspaceReuseAndParallel(t *testing.T) {
+	k, f, p := blockFixture(t, 4)
+	opt := Options{Tol: 1e-9, MaxIter: 5000}
+	ws := NewBlockWorkspace(0, 0)
+
+	u1 := vec.NewMulti(k.Rows, 4)
+	if _, err := SolveBlockInto(u1, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+	// Same workspace, different (smaller) shape.
+	k2 := model.Laplacian1D(30)
+	f2 := vec.NewMulti(30, 2)
+	f2.Col(0)[15] = 1
+	f2.Col(1)[3] = -2
+	u2 := vec.NewMulti(30, 2)
+	if _, err := SolveBlockInto(u2, k2, f2, nil, Options{Tol: 1e-10}, ws); err != nil {
+		t.Fatal(err)
+	}
+	// Re-solve the first problem on the warm workspace: identical result.
+	u3 := vec.NewMulti(k.Rows, 4)
+	if _, err := SolveBlockInto(u3, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u1.Data {
+		if u1.Data[i] != u3.Data[i] {
+			t.Fatalf("workspace reuse changed the solution at %d", i)
+		}
+	}
+	// Parallel kernels: same solution within roundoff (dot products are
+	// chunk-ordered, so tiny reassociation differences are possible only
+	// above the parallel threshold; this system is below it, so exact).
+	opt.Workers = 4
+	u4 := vec.NewMulti(k.Rows, 4)
+	if _, err := SolveBlockInto(u4, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := range u1.Data {
+		if math.Abs(u1.Data[i]-u4.Data[i]) > 1e-10 {
+			t.Fatalf("parallel solve differs at %d: %g vs %g", i, u1.Data[i], u4.Data[i])
+		}
+	}
+}
+
+// TestSolveBlockSteadyStateAllocFree: with a warm workspace, serial
+// kernels, and a preheated batch shape, a block solve must not allocate.
+func TestSolveBlockSteadyStateAllocFree(t *testing.T) {
+	k, f, p := blockFixture(t, 4)
+	opt := Options{Tol: 1e-9, MaxIter: 5000}
+	ws := NewBlockWorkspace(k.Rows, 4)
+	u := vec.NewMulti(k.Rows, 4)
+	if _, err := SolveBlockInto(u, k, f, p, opt, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := SolveBlockInto(u, k, f, p, opt, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state block solve allocated %.1f times per run", allocs)
+	}
+}

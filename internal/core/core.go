@@ -16,6 +16,7 @@ import (
 	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/splitting"
+	"repro/internal/vec"
 )
 
 // SplittingKind selects the stationary method generating the
@@ -242,6 +243,54 @@ func Solve(sys System, cfg Config) (Result, error) {
 	})
 	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv}
 	return res, err
+}
+
+// SolveBatch runs the configured m-step PCG on s right-hand sides sharing
+// one matrix: the splitting, coefficients and spectral-interval estimate
+// are built once, and each iteration of the block solve performs a single
+// matrix–multivector product and a single block preconditioner sweep for
+// the whole batch (see cg.SolveBlockInto). Result j corresponds to fs[j]
+// and matches a scalar Solve on (sys, fs[j]) to machine precision.
+//
+// The returned error is nil only when every column converged; partial
+// results are still returned alongside a joined per-column error.
+func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
+	if sys.K == nil {
+		return nil, fmt.Errorf("core: malformed system (K nil)")
+	}
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("core: batch solve needs at least one right-hand side")
+	}
+	n := sys.K.Rows
+	for j, f := range fs {
+		if len(f) != n {
+			return nil, fmt.Errorf("core: rhs %d length %d != n %d", j, len(f), n)
+		}
+	}
+	p, a, iv, err := BuildPreconditioner(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tol <= 0 && cfg.RelResidualTol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	u, bst, berr := cg.SolveBlock(sys.K, vec.MultiFromCols(fs), p, cg.Options{
+		Tol:            cfg.Tol,
+		RelResidualTol: cfg.RelResidualTol,
+		MaxIter:        cfg.MaxIter,
+		Workers:        cfg.Workers,
+	})
+	out := make([]Result, len(fs))
+	for j := range out {
+		out[j] = Result{
+			U:        vec.Clone(u.Col(j)),
+			Stats:    bst.Cols[j],
+			Precond:  p.Name(),
+			Alphas:   a,
+			Interval: iv,
+		}
+	}
+	return out, berr
 }
 
 // PlateSystem builds the paper's plane-stress test problem in the 6-color

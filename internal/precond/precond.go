@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/poly"
 	"repro/internal/splitting"
+	"repro/internal/vec"
 )
 
 // Preconditioner applies z = M⁻¹·r.
@@ -24,11 +25,38 @@ type Preconditioner interface {
 	Steps() int
 }
 
+// BlockApplier is the multi-right-hand-side fast path: preconditioners
+// that can serve a whole column block in one sweep implement it. Column j
+// of the result must equal Apply on column j exactly, so block CG matches
+// single-vector CG bit for bit.
+type BlockApplier interface {
+	// ApplyBlock computes z_j = M⁻¹·r_j for every column. z must not
+	// alias r.
+	ApplyBlock(z, r *vec.Multi)
+}
+
+// ApplyBlock computes z = M⁻¹·r column-block-wise: the preconditioner's
+// fused block path when it has one, otherwise a per-column Apply loop (the
+// column-contiguous Multi layout makes each column a zero-copy slice, so
+// the fallback costs nothing beyond the s separate sweeps).
+func ApplyBlock(p Preconditioner, z, r *vec.Multi) {
+	if ba, ok := p.(BlockApplier); ok {
+		ba.ApplyBlock(z, r)
+		return
+	}
+	for j := 0; j < z.S; j++ {
+		p.Apply(z.Col(j), r.Col(j))
+	}
+}
+
 // Identity is the trivial preconditioner M = I: plain conjugate gradient.
 type Identity struct{}
 
 // Apply copies r into z.
 func (Identity) Apply(z, r []float64) { copy(z, r) }
+
+// ApplyBlock copies r into z.
+func (Identity) ApplyBlock(z, r *vec.Multi) { copy(z.Data, r.Data) }
 
 // Name identifies the preconditioner.
 func (Identity) Name() string { return "none" }
@@ -41,9 +69,10 @@ func (Identity) Steps() int { return 0 }
 // fused Conrad–Wallach sweeps of Algorithm 2) the fast path is used;
 // otherwise m parametrized stationary steps are taken.
 type MStep struct {
-	Split  splitting.Splitting
-	Alphas poly.Alphas
-	fast   splitting.MStepApplier
+	Split     splitting.Splitting
+	Alphas    poly.Alphas
+	fast      splitting.MStepApplier
+	fastBlock splitting.MStepBlockApplier
 }
 
 // NewMStep builds the m-step preconditioner; m = Alphas.M() must be ≥ 1.
@@ -54,6 +83,9 @@ func NewMStep(sp splitting.Splitting, a poly.Alphas) (*MStep, error) {
 	m := &MStep{Split: sp, Alphas: a}
 	if fa, ok := sp.(splitting.MStepApplier); ok {
 		m.fast = fa
+	}
+	if fb, ok := sp.(splitting.MStepBlockApplier); ok {
+		m.fastBlock = fb
 	}
 	return m, nil
 }
@@ -70,6 +102,18 @@ func (m *MStep) Apply(z, r []float64) {
 	mm := m.Alphas.M()
 	for s := 1; s <= mm; s++ {
 		m.Split.Step(z, r, m.Alphas.Coeffs[mm-s])
+	}
+}
+
+// ApplyBlock computes z_j = M_m⁻¹·r_j for every column: one fused m-step
+// block sweep when the splitting supports it, otherwise m steps per column.
+func (m *MStep) ApplyBlock(z, r *vec.Multi) {
+	if m.fastBlock != nil {
+		m.fastBlock.ApplyMStepBlock(z, r, m.Alphas.Coeffs)
+		return
+	}
+	for j := 0; j < z.S; j++ {
+		m.Apply(z.Col(j), r.Col(j))
 	}
 }
 

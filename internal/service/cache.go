@@ -59,20 +59,23 @@ func (e *cacheEntry) build(req *SolveRequest) {
 		cfg.Interval = &e.interval
 	}
 	e.cfg = cfg
-	e.pool.New = func() any {
-		np, _, _, err := core.BuildPreconditioner(e.sys, e.cfg)
-		if err != nil {
-			return nil // cannot happen after a successful first build
-		}
-		return np
-	}
 	e.pool.Put(p)
 }
 
-// checkout takes a preconditioner from the pool; release returns it.
-func (e *cacheEntry) checkout() precond.Preconditioner {
-	p, _ := e.pool.Get().(precond.Preconditioner)
-	return p
+// checkout takes a preconditioner from the pool, rebuilding one when the
+// pool is empty (or the GC emptied it). Rebuilds reuse the pinned spectral
+// interval, so they never re-run the power method. A rebuild failure —
+// which should be impossible after a successful first build — surfaces its
+// real cause to the caller rather than an untyped nil.
+func (e *cacheEntry) checkout() (precond.Preconditioner, error) {
+	if p, ok := e.pool.Get().(precond.Preconditioner); ok && p != nil {
+		return p, nil
+	}
+	np, _, _, err := core.BuildPreconditioner(e.sys, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return np, nil
 }
 
 func (e *cacheEntry) release(p precond.Preconditioner) { e.pool.Put(p) }

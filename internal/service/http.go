@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 )
 
@@ -52,6 +53,13 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// A body must be exactly one JSON value: a second Decode must report
+	// EOF, otherwise trailing bytes ({"plate":...}garbage) were silently
+	// ignored and the request is malformed.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: trailing data after JSON value"})
 		return
 	}
 	job, err := s.Submit(req.SolveRequest)

@@ -38,6 +38,33 @@ type JobResult struct {
 	Nodes []int     `json:"nodes,omitempty"`
 	NodeU []float64 `json:"node_u,omitempty"`
 	NodeV []float64 `json:"node_v,omitempty"`
+
+	// RHS is the number of right-hand sides solved; Cases holds the
+	// per-RHS outcomes for batched requests (len(Cases) == RHS when > 1).
+	// For batches the top-level counters describe the shared block solve:
+	// Iterations is the outer block iteration count, MatVecs the SpMM
+	// count (one per iteration), PrecondApps the block sweeps.
+	RHS   int          `json:"rhs,omitempty"`
+	Cases []CaseResult `json:"cases,omitempty"`
+}
+
+// CaseResult reports one right-hand side of a batched solve.
+type CaseResult struct {
+	Converged   bool    `json:"converged"`
+	Iterations  int     `json:"iterations"`
+	FinalUDiff  float64 `json:"final_udiff"`
+	FinalRelRes float64 `json:"final_relres"`
+	// Error reports a per-case failure (breakdown or iteration limit);
+	// empty for converged cases.
+	Error string `json:"error,omitempty"`
+	// U is the case's solution in the solver's ordering; omitted when the
+	// request set OmitSolution.
+	U []float64 `json:"u,omitempty"`
+	// Nodes, NodeU, NodeV are the per-free-node displacements for plate
+	// problems.
+	Nodes []int     `json:"nodes,omitempty"`
+	NodeU []float64 `json:"node_u,omitempty"`
+	NodeV []float64 `json:"node_v,omitempty"`
 }
 
 // Job is the service's record of one solve. All mutable fields are guarded

@@ -29,6 +29,12 @@ type PlateSpec struct {
 	T  float64 `json:"t,omitempty"`
 	// Traction is the right-edge load (default 1).
 	Traction float64 `json:"traction,omitempty"`
+	// Tractions is the batched form: one load case per entry, all solved
+	// against the single assembled stiffness matrix in one block solve
+	// (the classic many-load-cases-one-plate FEM workload). The plate's
+	// load vector is linear in the traction, so each case's RHS is the
+	// base RHS rescaled. When set, Traction only names the cache entry.
+	Tractions []float64 `json:"tractions,omitempty"`
 }
 
 // SystemSpec is a general sparse SPD system in coordinate form. Duplicate
@@ -38,7 +44,11 @@ type SystemSpec struct {
 	I []int     `json:"i"`
 	J []int     `json:"j"`
 	V []float64 `json:"v"`
-	F []float64 `json:"f"`
+	// F is the right-hand side; Fs is the batched form (give one or the
+	// other). All right-hand sides in Fs are solved against the one matrix
+	// in a single block solve sharing every matrix traversal.
+	F  []float64   `json:"f,omitempty"`
+	Fs [][]float64 `json:"fs,omitempty"`
 	// Key, when non-empty, names this system for the preconditioner cache:
 	// repeated submissions with the same Key and solver settings reuse the
 	// assembled matrix and estimated spectral interval. Callers own key
@@ -92,6 +102,9 @@ const (
 	maxSystemN = 16 << 20
 	// maxSteps bounds the preconditioner step count m.
 	maxSteps = 4096
+	// maxBatchRHS bounds the right-hand sides per request (block scratch
+	// scales with n×s).
+	maxBatchRHS = 256
 )
 
 // Validate checks request shape without doing any assembly.
@@ -113,6 +126,9 @@ func (req *SolveRequest) Validate() error {
 				return err
 			}
 		}
+		if len(p.Tractions) > maxBatchRHS {
+			return fmt.Errorf("service: %d plate load cases exceed the %d limit", len(p.Tractions), maxBatchRHS)
+		}
 	}
 	if sy := req.System; sy != nil {
 		if sy.N <= 0 {
@@ -124,8 +140,23 @@ func (req *SolveRequest) Validate() error {
 		if len(sy.I) != len(sy.J) || len(sy.J) != len(sy.V) {
 			return fmt.Errorf("service: triplet lengths differ: |i|=%d |j|=%d |v|=%d", len(sy.I), len(sy.J), len(sy.V))
 		}
-		if len(sy.F) != sy.N {
-			return fmt.Errorf("service: rhs length %d != n %d", len(sy.F), sy.N)
+		switch {
+		case len(sy.Fs) > 0:
+			if len(sy.F) > 0 {
+				return fmt.Errorf("service: give f or fs, not both")
+			}
+			if len(sy.Fs) > maxBatchRHS {
+				return fmt.Errorf("service: %d right-hand sides exceed the %d limit", len(sy.Fs), maxBatchRHS)
+			}
+			for k, f := range sy.Fs {
+				if len(f) != sy.N {
+					return fmt.Errorf("service: rhs %d length %d != n %d", k, len(f), sy.N)
+				}
+			}
+		default:
+			if len(sy.F) != sy.N {
+				return fmt.Errorf("service: rhs length %d != n %d", len(sy.F), sy.N)
+			}
 		}
 		for k := range sy.I {
 			if sy.I[k] < 0 || sy.I[k] >= sy.N || sy.J[k] < 0 || sy.J[k] >= sy.N {
@@ -236,6 +267,75 @@ func (req *SolveRequest) cacheKey() string {
 		omega = 1
 	}
 	return fmt.Sprintf("%s|%s/m=%d/%s/omega=%g", problem, sk, req.Solver.M, ck, omega)
+}
+
+// batchSize reports the number of right-hand sides the request solves.
+func (req *SolveRequest) batchSize() int {
+	if req.Plate != nil && len(req.Plate.Tractions) > 0 {
+		return len(req.Plate.Tractions)
+	}
+	if req.System != nil && len(req.System.Fs) > 0 {
+		return len(req.System.Fs)
+	}
+	return 1
+}
+
+// rhsCols resolves the request's right-hand sides against the (possibly
+// cached) assembled system. For plates the load vector is linear in the
+// traction, so batched load cases rescale the assembled base RHS; for
+// general systems the request's own vectors are used even on a cache hit,
+// so a keyed entry never pins the first submitter's RHS onto later
+// requests. Every returned column is freshly allocated (never aliasing the
+// cached system).
+func (req *SolveRequest) rhsCols(sys core.System) ([][]float64, error) {
+	n := sys.K.Rows
+	check := func(f []float64, which string) error {
+		if len(f) != n {
+			return fmt.Errorf("service: %s length %d != system size %d (cache key reused for a different matrix?)", which, len(f), n)
+		}
+		return nil
+	}
+	if p := req.Plate; p != nil {
+		base := sys.F
+		if len(p.Tractions) == 0 {
+			out := make([]float64, n)
+			copy(out, base)
+			return [][]float64{out}, nil
+		}
+		baseTraction := p.Traction
+		if baseTraction == 0 {
+			baseTraction = 1
+		}
+		cols := make([][]float64, len(p.Tractions))
+		for k, tr := range p.Tractions {
+			scale := tr / baseTraction
+			col := make([]float64, n)
+			for i, v := range base {
+				col[i] = scale * v
+			}
+			cols[k] = col
+		}
+		return cols, nil
+	}
+	sy := req.System
+	if len(sy.Fs) > 0 {
+		cols := make([][]float64, len(sy.Fs))
+		for k, f := range sy.Fs {
+			if err := check(f, fmt.Sprintf("rhs %d", k)); err != nil {
+				return nil, err
+			}
+			col := make([]float64, n)
+			copy(col, f)
+			cols[k] = col
+		}
+		return cols, nil
+	}
+	if err := check(sy.F, "rhs"); err != nil {
+		return nil, err
+	}
+	col := make([]float64, n)
+	copy(col, sy.F)
+	return [][]float64{col}, nil
 }
 
 // assemble builds the linear system for the request (the expensive step the

@@ -14,6 +14,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/fem"
 	"repro/internal/precond"
+	"repro/internal/vec"
 )
 
 // ErrQueueFull reports a bounded-queue rejection; HTTP maps it to 503.
@@ -216,14 +217,15 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
-// worker owns one reusable CG workspace and processes jobs until the queue
-// closes: the steady-state solve path allocates only the per-job solution
-// vector.
+// worker owns one reusable scalar CG workspace and one block workspace and
+// processes jobs until the queue closes: the steady-state solve path
+// allocates only the per-job solution vector(s).
 func (s *Service) worker() {
 	defer s.wg.Done()
 	ws := cg.NewWorkspace(0)
+	bws := cg.NewBlockWorkspace(0, 0)
 	for job := range s.queue {
-		s.runJob(job, ws)
+		s.runJob(job, ws, bws)
 	}
 }
 
@@ -257,9 +259,12 @@ func (s *Service) transition(job *Job, state JobState, result *JobResult, err er
 }
 
 // runJob resolves the problem (via the cache when the request is keyed),
-// checks out a preconditioner, and solves into a fresh solution vector
-// using the worker's scratch workspace.
-func (s *Service) runJob(job *Job, ws *cg.Workspace) {
+// checks out a preconditioner, and solves into fresh solution vector(s)
+// using the worker's scratch workspaces. A batched request (multiple
+// right-hand sides) runs as one job against one cache entry and one
+// preconditioner checkout: the block solve shares every matrix traversal
+// across the batch and reports per-RHS results.
+func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	s.transition(job, JobRunning, nil, nil)
@@ -286,9 +291,10 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace) {
 		job.cacheHit = existed
 		s.mu.Unlock()
 		sys, plate, iv, name = entry.sys, entry.plate, entry.interval, entry.precond
-		pc = entry.checkout()
-		if pc == nil {
-			s.transition(job, JobFailed, nil, fmt.Errorf("service: preconditioner rebuild failed for %s", key))
+		var cerr error
+		pc, cerr = entry.checkout()
+		if cerr != nil {
+			s.transition(job, JobFailed, nil, fmt.Errorf("service: preconditioner rebuild failed for %s: %w", key, cerr))
 			return
 		}
 		defer entry.release(pc)
@@ -322,8 +328,32 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace) {
 	if opts.Tol <= 0 && opts.RelResidualTol <= 0 {
 		opts.Tol = 1e-6
 	}
+	fs, ferr := job.req.rhsCols(sys)
+	if ferr != nil {
+		s.transition(job, JobFailed, nil, ferr)
+		return
+	}
+
+	var res *JobResult
+	var err error
+	if job.req.batchSize() > 1 {
+		res, err = s.runBlock(job, sys, plate, pc, fs, opts, bws)
+	} else {
+		res, err = s.runScalar(job, sys, plate, pc, fs[0], opts, ws)
+	}
+	res.Precond = name
+	res.IntervalLo, res.IntervalHi = iv.Lo, iv.Hi
+	if err != nil {
+		s.transition(job, JobFailed, res, err)
+		return
+	}
+	s.transition(job, JobDone, res, nil)
+}
+
+// runScalar is the single-RHS solve path.
+func (s *Service) runScalar(job *Job, sys core.System, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace) (*JobResult, error) {
 	u := make([]float64, sys.K.Rows)
-	st, err := cg.SolveInto(u, sys.K, sys.F, pc, opts, ws)
+	st, err := cg.SolveInto(u, sys.K, f, pc, opts, ws)
 	s.totalIters.Add(int64(st.Iterations))
 
 	res := &JobResult{
@@ -334,26 +364,65 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace) {
 		InnerProducts: st.InnerProducts,
 		FinalUDiff:    st.FinalUDiff,
 		FinalRelRes:   st.FinalRelRes,
-		Precond:       name,
-		IntervalLo:    iv.Lo,
-		IntervalHi:    iv.Hi,
+		RHS:           1,
 	}
 	if !job.req.OmitSolution {
 		res.U = u
-		if plate != nil {
-			natural := plate.UncolorSolution(u)
-			res.Nodes = plate.Free
-			res.NodeU = make([]float64, len(plate.Free))
-			res.NodeV = make([]float64, len(plate.Free))
-			for k := range plate.Free {
-				res.NodeU[k] = natural[2*k]
-				res.NodeV[k] = natural[2*k+1]
-			}
+		res.Nodes, res.NodeU, res.NodeV = plateDisplacements(plate, u)
+	}
+	return res, err
+}
+
+// runBlock is the batched solve path: one block CG run for all right-hand
+// sides, per-RHS results split out afterwards.
+func (s *Service) runBlock(job *Job, sys core.System, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
+	n := sys.K.Rows
+	u := vec.NewMulti(n, len(fs))
+	st, err := cg.SolveBlockInto(u, sys.K, vec.MultiFromCols(fs), pc, opts, bws)
+	s.totalIters.Add(int64(st.Iterations))
+
+	res := &JobResult{
+		Converged:     st.Converged,
+		Iterations:    st.Iterations,
+		MatVecs:       st.SpMMs,
+		PrecondApps:   st.BlockPrecondApps,
+		InnerProducts: st.InnerProducts,
+		RHS:           st.RHS,
+		Cases:         make([]CaseResult, st.RHS),
+	}
+	for j := range res.Cases {
+		c := &res.Cases[j]
+		cs := st.Cols[j]
+		c.Converged = cs.Converged
+		c.Iterations = cs.Iterations
+		c.FinalUDiff = cs.FinalUDiff
+		c.FinalRelRes = cs.FinalRelRes
+		if st.ColErrs[j] != nil {
+			c.Error = st.ColErrs[j].Error()
+		}
+		res.FinalUDiff = max(res.FinalUDiff, cs.FinalUDiff)
+		res.FinalRelRes = max(res.FinalRelRes, cs.FinalRelRes)
+		if !job.req.OmitSolution {
+			c.U = append([]float64(nil), u.Col(j)...)
+			c.Nodes, c.NodeU, c.NodeV = plateDisplacements(plate, c.U)
 		}
 	}
-	if err != nil {
-		s.transition(job, JobFailed, res, err)
-		return
+	return res, err
+}
+
+// plateDisplacements maps a colored-ordering solution back to per-node
+// displacements; nil for non-plate problems.
+func plateDisplacements(plate *fem.Plate, u []float64) (nodes []int, nu, nv []float64) {
+	if plate == nil {
+		return nil, nil, nil
 	}
-	s.transition(job, JobDone, res, nil)
+	natural := plate.UncolorSolution(u)
+	nodes = plate.Free
+	nu = make([]float64, len(plate.Free))
+	nv = make([]float64, len(plate.Free))
+	for k := range plate.Free {
+		nu[k] = natural[2*k]
+		nv[k] = natural[2*k+1]
+	}
+	return nodes, nu, nv
 }

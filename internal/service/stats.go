@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 )
@@ -32,7 +33,10 @@ func (r *latencyRing) add(v float64) {
 }
 
 // quantile returns the q-th (0..1) latency over the retained window, 0 when
-// empty.
+// empty, using the ceil-based nearest-rank definition: the smallest sample
+// at or above rank ⌈q·n⌉. Truncating the rank instead (int(q·(n−1)))
+// under-reports tail quantiles on small windows — p99 of 50 samples would
+// read index 48, which is the p96.
 func (r *latencyRing) quantile(q float64) float64 {
 	r.mu.Lock()
 	sample := append([]float64(nil), r.buf[:r.n]...)
@@ -41,7 +45,13 @@ func (r *latencyRing) quantile(q float64) float64 {
 		return 0
 	}
 	sort.Float64s(sample)
-	idx := int(q * float64(len(sample)-1))
+	idx := int(math.Ceil(q*float64(len(sample)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
 	return sample[idx]
 }
 

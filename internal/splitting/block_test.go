@@ -1,0 +1,68 @@
+package splitting
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestApplyMStepBlockMatchesPerColumn: the fused block sweep must equal
+// per-column ApplyMStep exactly, for several m and column counts.
+func TestApplyMStepBlockMatchesPerColumn(t *testing.T) {
+	s, _, _ := newSixColor(t, 7, 6)
+	n := s.N()
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []int{1, 2, 4} {
+		alphas := make([]float64, m)
+		for i := range alphas {
+			alphas[i] = 0.5 + rng.Float64()
+		}
+		for _, cols := range []int{1, 2, 5} {
+			r := vec.NewMulti(n, cols)
+			for i := range r.Data {
+				r.Data[i] = rng.NormFloat64()
+			}
+			block := vec.NewMulti(n, cols)
+			s.ApplyMStepBlock(block, r, alphas)
+			for j := 0; j < cols; j++ {
+				want := make([]float64, n)
+				s.ApplyMStep(want, r.Col(j), alphas)
+				for i := range want {
+					if block.Col(j)[i] != want[i] {
+						t.Fatalf("m=%d cols=%d col %d row %d: block %g != per-column %g",
+							m, cols, j, i, block.Col(j)[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestApplyMStepBlockRelaxedFallback: ω ≠ 1 must take the strict per-column
+// path and still agree with ApplyMStep.
+func TestApplyMStepBlockRelaxedFallback(t *testing.T) {
+	k, start, _ := coloredPlate(t, 6, 6)
+	s, err := NewMulticolorSSOR(k, start, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.N()
+	rng := rand.New(rand.NewSource(4))
+	r := vec.NewMulti(n, 3)
+	for i := range r.Data {
+		r.Data[i] = rng.NormFloat64()
+	}
+	alphas := []float64{1, 1}
+	block := vec.NewMulti(n, 3)
+	s.ApplyMStepBlock(block, r, alphas)
+	for j := 0; j < 3; j++ {
+		want := make([]float64, n)
+		s.ApplyMStep(want, r.Col(j), alphas)
+		for i := range want {
+			if block.Col(j)[i] != want[i] {
+				t.Fatalf("ω=1.3 col %d row %d: %g != %g", j, i, block.Col(j)[i], want[i])
+			}
+		}
+	}
+}

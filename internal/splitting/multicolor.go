@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sparse"
+	"repro/internal/vec"
 )
 
 // SixColorSSOR is the multicolor SSOR splitting of the paper's §3
@@ -23,6 +24,7 @@ type SixColorSSOR struct {
 	Start []int // group boundaries: group c spans [Start[c], Start[c+1])
 	d     []float64
 	y     []float64 // Conrad–Wallach cache, one value per unknown
+	yb    []float64 // block-apply cache, one value per unknown per column
 	omega float64
 }
 
@@ -215,6 +217,136 @@ func (s *SixColorSSOR) ApplyMStep(rhat, r []float64, alphas []float64) {
 					rhat[i] = (x + s.y[i] + alpha*r[i]) / s.d[i]
 				}
 				s.y[i] = x
+			}
+		}
+	}
+}
+
+// ApplyMStepBlock computes r̂_j = M_m⁻¹·r_j for every column of a
+// multivector with one fused sweep structure: at each (step, color, row)
+// the solve runs across all s columns while row i's index/value block is
+// hot in cache, so a block application traverses K's rows once per
+// half-sweep instead of once per half-sweep per right-hand side. Column j
+// reproduces ApplyMStep on column j exactly (same per-column arithmetic
+// order, including the Conrad–Wallach caching and dead-solve elisions).
+//
+// Like Apply/Step, this mutates per-splitting scratch and is not safe for
+// concurrent use; the service's preconditioner pool hands each job its own
+// instance.
+func (s *SixColorSSOR) ApplyMStepBlock(rhat, r *vec.Multi, alphas []float64) {
+	m := len(alphas)
+	if m < 1 {
+		panic("splitting: ApplyMStepBlock needs at least one step")
+	}
+	n, ns := s.K.Rows, rhat.S
+	if rhat.N != n || r.N != n || r.S != ns {
+		panic(fmt.Sprintf("splitting: ApplyMStepBlock dims: K %d×%d, r %d×%d, rhat %d×%d",
+			n, n, r.N, r.S, rhat.N, rhat.S))
+	}
+	if s.omega != 1 || ns < 4 {
+		// The fused elisions need ω = 1 (see ApplyMStep); and narrow
+		// blocks lose more to the tile bookkeeping than the fused row
+		// scans save, so they take the per-column sweeps.
+		for j := 0; j < ns; j++ {
+			s.ApplyMStep(rhat.Col(j), r.Col(j), alphas)
+		}
+		return
+	}
+	if cap(s.yb) < n*ns {
+		s.yb = make([]float64, n*ns)
+	}
+	yb := s.yb[:n*ns]
+	for i := range rhat.Data {
+		rhat.Data[i] = 0
+	}
+	for i := range yb {
+		yb[i] = 0
+	}
+	// Row entries are scanned once per column tile (not once per column):
+	// each K value/index pair loads once and fans out across up to
+	// sweepTile per-column block sums held in a fixed-size stack array.
+	// Per-column arithmetic order still matches lowerSum/upperSum exactly
+	// (−a−b ≡ −(a+b) in IEEE arithmetic, negation being exact).
+	const sweepTile = 8
+	ng := s.numGroups()
+	for step := 1; step <= m; step++ {
+		alpha := alphas[m-step]
+		// Forward half-sweep: x = fresh lower block sums, yb = cached
+		// upper sums from the previous backward half-sweep.
+		for c := 0; c < ng; c++ {
+			lo, hi := s.Start[c], s.Start[c+1]
+			cache := c < ng-1
+			for i := lo; i < hi; i++ {
+				rowStart, rowEnd := s.K.RowPtr[i], s.K.RowPtr[i+1]
+				di := s.d[i]
+				for c0 := 0; c0 < ns; c0 += sweepTile {
+					cw := ns - c0
+					if cw > sweepTile {
+						cw = sweepTile
+					}
+					var sums [sweepTile]float64
+					for p := rowStart; p < rowEnd; p++ {
+						j := s.K.ColIdx[p]
+						if j >= lo {
+							break // columns sorted; rest are within-group or upper
+						}
+						v := s.K.Val[p]
+						base := c0*n + j
+						for t := 0; t < cw; t++ {
+							sums[t] -= v * rhat.Data[base]
+							base += n
+						}
+					}
+					base := c0*n + i
+					for t := 0; t < cw; t++ {
+						x := sums[t]
+						rhat.Data[base] = (x + yb[base] + alpha*r.Data[base]) / di
+						if cache {
+							yb[base] = x
+						}
+						base += n
+					}
+				}
+			}
+		}
+		// Backward half-sweep: colors descending, skipping the last color
+		// (identical re-solve); the color-1 solve is elided until the
+		// final step, as in ApplyMStep. x = fresh upper block sums,
+		// yb = cached lower sums from the forward half-sweep.
+		for c := ng - 2; c >= 0; c-- {
+			lo, hi := s.Start[c], s.Start[c+1]
+			solve := c > 0 || step == m
+			for i := lo; i < hi; i++ {
+				rowStart, rowEnd := s.K.RowPtr[i], s.K.RowPtr[i+1]
+				di := s.d[i]
+				for c0 := 0; c0 < ns; c0 += sweepTile {
+					cw := ns - c0
+					if cw > sweepTile {
+						cw = sweepTile
+					}
+					var sums [sweepTile]float64
+					for p := rowEnd - 1; p >= rowStart; p-- {
+						j := s.K.ColIdx[p]
+						if j < hi {
+							break
+						}
+						v := s.K.Val[p]
+						base := c0*n + j
+						for t := 0; t < cw; t++ {
+							sums[t] -= v * rhat.Data[base]
+							base += n
+						}
+					}
+					base := c0*n + i
+					for t := 0; t < cw; t++ {
+						x := sums[t]
+						if solve {
+							rhat.Data[base] = (x + yb[base] + alpha*r.Data[base]) / di
+						}
+						yb[base] = x
+						base += n
+					}
+				}
 			}
 		}
 	}

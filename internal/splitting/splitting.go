@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/sparse"
+	"repro/internal/vec"
 )
 
 // Splitting is a splitting K = P − Q exposing the parametrized stationary
@@ -42,6 +43,18 @@ type MStepApplier interface {
 	// ApplyMStep computes r̂ = M_m⁻¹·r where m = len(alphas) and
 	// alphas[i] = αᵢ.
 	ApplyMStep(rhat, r []float64, alphas []float64)
+}
+
+// MStepBlockApplier is the multi-right-hand-side fast path: splittings
+// that can run one fused m-step sweep over a whole column block implement
+// it, so s right-hand sides cost one traversal of K's rows per half-sweep
+// instead of s. Column j of the result must equal ApplyMStep on column j
+// exactly (same arithmetic order), so block and single-vector solves agree
+// bit for bit.
+type MStepBlockApplier interface {
+	// ApplyMStepBlock computes r̂_j = M_m⁻¹·r_j for every column j, with
+	// m = len(alphas).
+	ApplyMStepBlock(rhat, r *vec.Multi, alphas []float64)
 }
 
 // Jacobi is the splitting P = diag(K): the m-step preconditioner it

@@ -115,6 +115,30 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	return core.Solve(p.sys, cfg)
 }
 
+// F returns a copy of the problem's assembled right-hand side (in the
+// solver's ordering) — the base load vector batched solves rescale or
+// replace.
+func (p *Problem) F() []float64 {
+	out := make([]float64, len(p.sys.F))
+	copy(out, p.sys.F)
+	return out
+}
+
+// SolveBatch runs the configured m-step PCG method against every
+// right-hand side in fs at once: the splitting, polynomial coefficients
+// and spectral-interval estimate are built a single time, and each block
+// iteration performs one matrix–multivector product and one block
+// preconditioner sweep shared by all still-unconverged columns — solving s
+// load cases against one stiffness matrix for far less than s sequential
+// solves. Result j corresponds to fs[j] and matches Solve on the same
+// right-hand side to machine precision.
+//
+// The returned error is nil only when every column converged; partial
+// results are still returned alongside a joined per-column error.
+func SolveBatch(p *Problem, fs [][]float64, cfg Config) ([]Result, error) {
+	return core.SolveBatch(p.sys, fs, cfg)
+}
+
 // NodeDisplacements maps a plate solution (Result.U, colored ordering) back
 // to per-node displacements: the returned slices are indexed by free-node
 // position with u and v components. Returns an error for non-plate

@@ -32,6 +32,58 @@ func TestPublicQuickstart(t *testing.T) {
 	}
 }
 
+func TestPublicSolveBatch(t *testing.T) {
+	p, err := repro.NewPlateProblem(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.F()
+	// Three load cases: the assembled load, halved, and reversed.
+	fs := make([][]float64, 3)
+	for j, scale := range []float64{1, 0.5, -2} {
+		fs[j] = make([]float64, len(base))
+		for i, v := range base {
+			fs[j][i] = scale * v
+		}
+	}
+	cfg := repro.Config{M: 3, Coeffs: repro.LeastSquaresCoeffs, Tol: 1e-8}
+	results, err := repro.SolveBatch(p, fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	want, err := repro.Solve(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, res := range results {
+		if !res.Stats.Converged {
+			t.Fatalf("case %d not converged", j)
+		}
+		// Case j's solution must match a scalar solve of the same load
+		// case; compare via linearity against the base solve.
+		scale := []float64{1, 0.5, -2}[j]
+		var maxd float64
+		for i := range res.U {
+			if d := math.Abs(res.U[i] - scale*want.U[i]); d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-6 {
+			t.Fatalf("case %d deviates from scaled scalar solve by %g", j, maxd)
+		}
+	}
+
+	if _, err := repro.SolveBatch(p, nil, cfg); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := repro.SolveBatch(p, [][]float64{{1, 2}}, cfg); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
 func TestPublicGeneralMatrix(t *testing.T) {
 	// Small 1-D Laplacian through the public builder.
 	n := 20
