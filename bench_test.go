@@ -207,7 +207,7 @@ func BenchmarkAblationSpMV(b *testing.B) {
 		b.Fatal(err)
 	}
 	k := sys.K
-	dia := sparse.NewDIAFromCSR(k)
+	dia := sparse.MustDIAFromCSR(k)
 	x := make([]float64, k.Rows)
 	for i := range x {
 		x[i] = float64(i%7) - 3
@@ -423,7 +423,7 @@ func BenchmarkSpMM(b *testing.B) {
 		b.Fatal(err)
 	}
 	k := sys.K
-	dia := sparse.NewDIAFromCSR(k)
+	dia := sparse.MustDIAFromCSR(k)
 	n := k.Rows
 	const s = 8
 	x := vec.NewMulti(n, s)
@@ -455,6 +455,61 @@ func BenchmarkSpMM(b *testing.B) {
 			dia.MulMatTo(dst, x)
 		}
 	})
+}
+
+// BenchmarkSpMVBackends measures the CSR-vs-DIA matvec gap on the two
+// structure regimes the Auto backend policy distinguishes: the banded
+// multicolor plate (a fixed ~47-diagonal family at every size, DIA fill
+// ≈ 0.25) and the 5-point Poisson stencil (5 dense diagonals, fill ≈ 1 —
+// the ideal vector-triad regime). Reported per backend for the scalar
+// SpMV and the 8-column SpMM.
+func BenchmarkSpMVBackends(b *testing.B) {
+	sys, _, err := core.PlateSystem(40, 40, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		k    *sparse.CSR
+	}{
+		{"plate40", sys.K},
+		{"poisson100", model.Poisson2D(100, 100)},
+	} {
+		dia, err := sparse.NewDIAFromCSR(tc.k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := tc.k.Rows
+		nd, _ := tc.k.DiagStats()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		y := make([]float64, n)
+		const s = 8
+		xm := vec.NewMulti(n, s)
+		for i := range xm.Data {
+			xm.Data[i] = float64(i%13) - 6
+		}
+		dst := vec.NewMulti(n, s)
+		for _, run := range []struct {
+			name string
+			fn   func()
+		}{
+			{"csr/spmv", func() { tc.k.MulVecTo(y, x) }},
+			{"dia/spmv", func() { dia.MulVecTo(y, x) }},
+			{"csr/spmm8", func() { tc.k.MulMatTo(dst, xm) }},
+			{"dia/spmm8", func() { dia.MulMatTo(dst, xm) }},
+		} {
+			b.Run(tc.name+"/"+run.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run.fn()
+				}
+				b.ReportMetric(float64(nd), "diags")
+				b.ReportMetric(tc.k.DIAFillRatio(), "fill")
+			})
+		}
+	}
 }
 
 func BenchmarkServiceThroughput(b *testing.B) {

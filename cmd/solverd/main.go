@@ -12,8 +12,13 @@
 //	POST /v1/solve     {"plate":{"rows":20,"cols":20},"solver":{"m":3,"coeffs":"least-squares"}}
 //	                   add "async":true for 202 + job ID instead of waiting
 //	POST /v1/solve     {"system":{"n":2,"i":[0,1],"j":[0,1],"v":[2,2],"f":[1,0],"key":"demo"},"solver":{"splitting":"jacobi"}}
+//	                   "solver":{"backend":"dia"} forces diagonal (CYBER-style)
+//	                   matvec storage; "csr" forces row storage; "auto" (the
+//	                   default) probes the matrix and picks — the result's
+//	                   "backend" field reports the storage actually used
 //	GET  /v1/jobs/{id} job status and result
-//	GET  /v1/stats     queue depth, cache hit rate, p50/p99 latency
+//	GET  /v1/stats     queue depth, cache hit rate, p50/p99 latency,
+//	                   per-backend solve counts (solves_csr / solves_dia)
 package main
 
 import (

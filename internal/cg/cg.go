@@ -79,13 +79,15 @@ type Stats struct {
 	Stopped bool
 }
 
-// Solve runs preconditioned CG on K·u = f with preconditioner M.
+// Solve runs preconditioned CG on K·u = f with preconditioner M. K is any
+// sparse.Operator backend (CSR, DIA, …); the solver only ever applies it.
 // It returns the iterate, statistics, and an error for breakdowns or
 // hitting MaxIter (the partial result is still returned). Each call
 // allocates its scratch; allocation-sensitive callers use SolveInto with a
 // reused Workspace.
-func Solve(k *sparse.CSR, f []float64, m precond.Preconditioner, opt Options) ([]float64, Stats, error) {
-	u := make([]float64, k.Rows)
+func Solve(k sparse.Operator, f []float64, m precond.Preconditioner, opt Options) ([]float64, Stats, error) {
+	rows, _ := k.Dims()
+	u := make([]float64, rows)
 	st, err := SolveInto(u, k, f, m, opt, nil)
 	return u, st, err
 }

@@ -1,0 +1,35 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// The solvers consume any sparse.Operator: a DIA-backed solve must agree
+// with the CSR-backed solve of the same system (to rounding — the two
+// storages traverse the matrix in different orders).
+func TestSolveAcceptsDIAOperator(t *testing.T) {
+	k := model.Laplacian1D(40)
+	d := sparse.MustDIAFromCSR(k)
+	f := make([]float64, 40)
+	f[13] = 1
+	uCSR, stCSR, err := Solve(k, f, nil, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uDIA, stDIA, err := Solve(d, f, nil, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stCSR.Converged || !stDIA.Converged {
+		t.Fatalf("converged csr=%v dia=%v", stCSR.Converged, stDIA.Converged)
+	}
+	for i := range uCSR {
+		if math.Abs(uCSR[i]-uDIA[i]) > 1e-9*(1+math.Abs(uCSR[i])) {
+			t.Fatalf("solutions deviate at %d: %g vs %g", i, uCSR[i], uDIA[i])
+		}
+	}
+}

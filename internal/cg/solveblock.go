@@ -123,8 +123,9 @@ func (w *BlockWorkspace) setActive(n, act int) {
 // SolveBlock runs block PCG on K·U = F for a batch of right-hand sides,
 // allocating its own result and scratch. Allocation-sensitive callers use
 // SolveBlockInto with a reused workspace.
-func SolveBlock(k *sparse.CSR, f *vec.Multi, m precond.Preconditioner, opt Options) (*vec.Multi, BlockStats, error) {
-	u := vec.NewMulti(k.Rows, f.S)
+func SolveBlock(k sparse.Operator, f *vec.Multi, m precond.Preconditioner, opt Options) (*vec.Multi, BlockStats, error) {
+	rows, _ := k.Dims()
+	u := vec.NewMulti(rows, f.S)
 	st, err := SolveBlockInto(u, k, f, m, opt, nil)
 	return u, st, err
 }
@@ -150,11 +151,11 @@ func SolveBlock(k *sparse.CSR, f *vec.Multi, m precond.Preconditioner, opt Optio
 //
 // The returned error is nil only when every column converged; otherwise it
 // joins the per-column failures (also available in BlockStats.ColErrs).
-func SolveBlockInto(u *vec.Multi, k *sparse.CSR, f *vec.Multi, m precond.Preconditioner, opt Options, ws *BlockWorkspace) (BlockStats, error) {
-	n := k.Rows
+func SolveBlockInto(u *vec.Multi, k sparse.Operator, f *vec.Multi, m precond.Preconditioner, opt Options, ws *BlockWorkspace) (BlockStats, error) {
+	n, cols := k.Dims()
 	s := f.S
-	if k.Cols != n {
-		return BlockStats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", k.Rows, k.Cols)
+	if cols != n {
+		return BlockStats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", n, cols)
 	}
 	if f.N != n {
 		return BlockStats{}, fmt.Errorf("cg: rhs block is %d×%d, want %d rows", f.N, f.S, n)

@@ -59,10 +59,10 @@ func (w *Workspace) ensure(n int) {
 // workspace, so copy them before the workspace's next solve if they must
 // survive it. Workers > 1 fans the SpMV/dot/axpy kernels out over that many
 // goroutines (goroutine startup does allocate).
-func SolveInto(u []float64, k *sparse.CSR, f []float64, m precond.Preconditioner, opt Options, ws *Workspace) (Stats, error) {
-	n := k.Rows
-	if k.Cols != n {
-		return Stats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", k.Rows, k.Cols)
+func SolveInto(u []float64, k sparse.Operator, f []float64, m precond.Preconditioner, opt Options, ws *Workspace) (Stats, error) {
+	n, cols := k.Dims()
+	if cols != n {
+		return Stats{}, fmt.Errorf("cg: matrix must be square, got %d×%d", n, cols)
 	}
 	if len(f) != n {
 		return Stats{}, fmt.Errorf("cg: rhs length %d != n %d", len(f), n)

@@ -112,6 +112,10 @@ type Config struct {
 	// Workers caps the goroutine fan-out of the CG kernels (≤ 1 serial);
 	// see cg.Options.Workers.
 	Workers int
+	// Backend selects the matvec storage for K (the preconditioner always
+	// works from the CSR form). The zero value is BackendAuto: probe the
+	// structure and pick DIA for banded-diagonal systems, CSR otherwise.
+	Backend Backend
 }
 
 // Result reports a solve.
@@ -121,6 +125,9 @@ type Result struct {
 	Precond  string
 	Alphas   poly.Alphas    // zero-value when M == 0
 	Interval eigen.Interval // zero-value when no estimate was needed
+	// Backend is the matvec storage the solve actually ran on ("csr" or
+	// "dia") — the resolved form of Config.Backend.
+	Backend string
 }
 
 // BuildSplitting constructs the configured splitting for a system.
@@ -231,17 +238,21 @@ func Solve(sys System, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	op, backend, err := operatorFor(sys.K, cfg.Backend)
+	if err != nil {
+		return Result{}, err
+	}
 	if cfg.Tol <= 0 && cfg.RelResidualTol <= 0 {
 		cfg.Tol = 1e-6
 	}
-	u, st, err := cg.Solve(sys.K, sys.F, p, cg.Options{
+	u, st, err := cg.Solve(op, sys.F, p, cg.Options{
 		Tol:            cfg.Tol,
 		RelResidualTol: cfg.RelResidualTol,
 		MaxIter:        cfg.MaxIter,
 		History:        cfg.History,
 		Workers:        cfg.Workers,
 	})
-	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv}
+	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv, Backend: backend.String()}
 	return res, err
 }
 
@@ -271,10 +282,14 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	op, backend, err := operatorFor(sys.K, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Tol <= 0 && cfg.RelResidualTol <= 0 {
 		cfg.Tol = 1e-6
 	}
-	u, bst, berr := cg.SolveBlock(sys.K, vec.MultiFromCols(fs), p, cg.Options{
+	u, bst, berr := cg.SolveBlock(op, vec.MultiFromCols(fs), p, cg.Options{
 		Tol:            cfg.Tol,
 		RelResidualTol: cfg.RelResidualTol,
 		MaxIter:        cfg.MaxIter,
@@ -288,6 +303,7 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 			Precond:  p.Name(),
 			Alphas:   a,
 			Interval: iv,
+			Backend:  backend.String(),
 		}
 	}
 	return out, berr

@@ -9,6 +9,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/fem"
 	"repro/internal/precond"
+	"repro/internal/sparse"
 )
 
 // cacheEntry is one fully-prepared problem: the assembled system, the
@@ -30,6 +31,19 @@ type cacheEntry struct {
 	cfg      core.Config
 	interval eigen.Interval
 	precond  string // display name
+
+	// dia is the diagonal-storage conversion of sys.K, built at most once
+	// per entry the first time a job resolves to the DIA backend and
+	// shared (immutably) by every later DIA solve of this problem.
+	diaOnce sync.Once
+	dia     *sparse.DIA
+	diaErr  error
+
+	// autoBackend memoizes the Auto policy's structure-probe decision:
+	// the matrix is immutable per entry, so the O(nnz) pattern scan runs
+	// once, not once per request.
+	autoOnce    sync.Once
+	autoBackend core.Backend
 
 	pool sync.Pool // of precond.Preconditioner
 }
@@ -62,6 +76,24 @@ func (e *cacheEntry) build(req *SolveRequest) {
 	e.pool.Put(p)
 }
 
+// resolveBackend resolves a request's backend policy against the entry's
+// matrix. Forced policies pass through; Auto's probe result is memoized.
+func (e *cacheEntry) resolveBackend(policy core.Backend) core.Backend {
+	if policy != core.BackendAuto {
+		return core.ChooseBackend(e.sys.K, policy)
+	}
+	e.autoOnce.Do(func() { e.autoBackend = core.ChooseBackend(e.sys.K, core.BackendAuto) })
+	return e.autoBackend
+}
+
+// getDIA returns the entry's diagonal-storage form of the system matrix,
+// converting on first use. The conversion is cached alongside the CSR so
+// repeated DIA-backend solves of one problem never re-convert.
+func (e *cacheEntry) getDIA() (*sparse.DIA, error) {
+	e.diaOnce.Do(func() { e.dia, e.diaErr = sparse.NewDIAFromCSR(e.sys.K) })
+	return e.dia, e.diaErr
+}
+
 // checkout takes a preconditioner from the pool, rebuilding one when the
 // pool is empty (or the GC emptied it). Rebuilds reuse the pinned spectral
 // interval, so they never re-run the power method. A rebuild failure —
@@ -80,59 +112,122 @@ func (e *cacheEntry) checkout() (precond.Preconditioner, error) {
 
 func (e *cacheEntry) release(p precond.Preconditioner) { e.pool.Put(p) }
 
-// cache is a keyed LRU of prepared problems. Concurrent misses on the same
-// key share one build (the losers block on the entry's once).
+// cacheShards caps the number of independently-locked cache segments. Keys
+// hash to a shard, so concurrent batch traffic on distinct problems
+// contends on distinct mutexes instead of serializing on one.
+const cacheShards = 16
+
+// minShardCapacity keeps shards from getting uselessly thin: small
+// configured totals use fewer shards rather than thinner ones (a
+// CacheSize below it degenerates to one shard — exactly the old
+// single-LRU behavior).
+const minShardCapacity = 4
+
+// cache is a keyed LRU of prepared problems, sharded by key hash: each
+// shard owns its own mutex and recency list, so the only cross-shard
+// state is atomic counters. Capacity is a global bound, not a per-shard
+// one — a shard holding many hot keys borrows capacity from idle shards,
+// and eviction (from the inserting shard's LRU tail, an approximation of
+// global LRU that needs no cross-shard lock) only happens once the whole
+// cache is full, so any working set that fit the old single LRU still
+// fits. Concurrent misses on the same key still share one build — the
+// losers block on the entry's once.
 type cache struct {
-	mu      sync.Mutex
-	max     int
-	lru     *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
+	shards []cacheShard
+	max    int
+	size   atomic.Int64
 
 	hits, misses atomic.Int64
 }
 
+type cacheShard struct {
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+// newCache builds a cache holding max entries in total over
+// min(cacheShards, max/minShardCapacity) shards (at least one).
 func newCache(max int) *cache {
 	if max < 1 {
 		max = 1
 	}
-	return &cache{max: max, lru: list.New(), entries: make(map[string]*list.Element)}
+	nshards := max / minShardCapacity
+	if nshards > cacheShards {
+		nshards = cacheShards
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	c := &cache{shards: make([]cacheShard, nshards), max: max}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			lru:     list.New(),
+			entries: make(map[string]*list.Element),
+		}
+	}
+	return c
+}
+
+// shard picks the key's segment by inline FNV-1a (allocation-free — the
+// stdlib hash escapes to the heap through its interface, and this runs on
+// every cached request).
+func (c *cache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%uint32(len(c.shards))]
 }
 
 // get returns the entry for key, creating it on miss, and whether the entry
 // already existed. The caller must run entry.once before using the fields.
 func (c *cache) get(key string) (*cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(el)
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
 		c.hits.Add(1)
 		return el.Value.(*cacheEntry), true
 	}
 	e := &cacheEntry{key: key}
-	c.entries[key] = c.lru.PushFront(e)
-	if c.lru.Len() > c.max {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	s.entries[key] = s.lru.PushFront(e)
+	// Evict only when the cache as a whole is over capacity, and only
+	// from this shard (never the entry just inserted). The total can
+	// transiently exceed max by at most one entry per single-entry shard.
+	if c.size.Add(1) > int64(c.max) && s.lru.Len() > 1 {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+		c.size.Add(-1)
 	}
 	c.misses.Add(1)
 	return e, false
 }
 
-// drop removes e from the cache (used when its build fails, so the error
+// drop removes e from its shard (used when its build fails, so the error
 // is not cached forever). It compares identity: if the key has already
 // been replaced by a newer — possibly healthy — entry, that entry stays.
 func (c *cache) drop(e *cacheEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[e.key]; ok && el.Value.(*cacheEntry) == e {
-		c.lru.Remove(el)
-		delete(c.entries, e.key)
+	s := c.shard(e.key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.key]; ok && el.Value.(*cacheEntry) == e {
+		s.lru.Remove(el)
+		delete(s.entries, e.key)
+		c.size.Add(-1)
 	}
 }
 
 func (c *cache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -26,6 +26,9 @@ type JobResult struct {
 	// Precond names the preconditioner, e.g. "3-step ssor-multicolor
 	// (least-squares)".
 	Precond string `json:"precond"`
+	// Backend is the matvec storage the solve ran on ("csr" or "dia") —
+	// the resolved form of the request's "backend" field.
+	Backend string `json:"backend,omitempty"`
 	// IntervalLo/Hi report the spectral interval used for parametrized
 	// coefficients (0,0 when none was needed).
 	IntervalLo float64 `json:"interval_lo,omitempty"`

@@ -79,6 +79,11 @@ type SolverSpec struct {
 	RelResidualTol float64 `json:"rel_residual_tol,omitempty"`
 	// MaxIter bounds iterations (0 = 10n).
 	MaxIter int `json:"max_iter,omitempty"`
+	// Backend selects the matvec storage for K: "csr", "dia", or "auto"
+	// (empty = auto) — auto probes the matrix structure and picks diagonal
+	// storage for banded-diagonal systems (the paper's CYBER layout), CSR
+	// for scattered fill. The result reports the backend actually used.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SolveRequest is one unit of work: exactly one of Plate or System, plus
@@ -176,6 +181,9 @@ func (req *SolveRequest) Validate() error {
 	if _, _, err := req.Solver.kinds(req.Plate != nil); err != nil {
 		return err
 	}
+	if _, err := core.ParseBackend(strings.ToLower(req.Solver.Backend)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -214,10 +222,19 @@ func (s SolverSpec) kinds(isPlate bool) (core.SplittingKind, core.CoeffKind, err
 	return sk, ck, nil
 }
 
+// backend resolves the spec's backend name to the core policy.
+func (s SolverSpec) backend() (core.Backend, error) {
+	return core.ParseBackend(strings.ToLower(s.Backend))
+}
+
 // config translates the spec into a core.Config (Workers and Interval are
 // filled in by the scheduler).
 func (s SolverSpec) config(isPlate bool) (core.Config, error) {
 	sk, ck, err := s.kinds(isPlate)
+	if err != nil {
+		return core.Config{}, err
+	}
+	b, err := s.backend()
 	if err != nil {
 		return core.Config{}, err
 	}
@@ -229,6 +246,7 @@ func (s SolverSpec) config(isPlate bool) (core.Config, error) {
 		Tol:            s.Tol,
 		RelResidualTol: s.RelResidualTol,
 		MaxIter:        s.MaxIter,
+		Backend:        b,
 	}, nil
 }
 
@@ -236,7 +254,9 @@ func (s SolverSpec) config(isPlate bool) (core.Config, error) {
 // the request is uncacheable (a general system without a Key, or an
 // unresolvable solver spec). Keys are canonical: spelled-out defaults
 // ("ssor-multicolor", "ones", ω = 1) share an entry with the empty-string
-// shorthand.
+// shorthand. The backend is deliberately not part of the key: an entry
+// caches the CSR and its DIA conversion side by side, so requests
+// differing only in backend share one assembled problem.
 func (req *SolveRequest) cacheKey() string {
 	var problem string
 	switch {

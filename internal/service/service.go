@@ -14,6 +14,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/fem"
 	"repro/internal/precond"
+	"repro/internal/sparse"
 	"repro/internal/vec"
 )
 
@@ -83,6 +84,8 @@ type Service struct {
 	jobsDone   atomic.Int64
 	jobsFailed atomic.Int64
 	totalIters atomic.Int64
+	solvesCSR  atomic.Int64
+	solvesDIA  atomic.Int64
 
 	started time.Time
 	wg      sync.WaitGroup
@@ -192,6 +195,8 @@ func (s *Service) Stats() Stats {
 		CacheMisses:     misses,
 		CacheEntries:    s.cache.len(),
 		TotalIterations: s.totalIters.Load(),
+		SolvesCSR:       s.solvesCSR.Load(),
+		SolvesDIA:       s.solvesDIA.Load(),
 		LatencyP50:      s.lat.quantile(0.50),
 		LatencyP99:      s.lat.quantile(0.99),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
@@ -275,12 +280,14 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		pc    precond.Preconditioner
 		iv    eigen.Interval
 		name  string
+		entry *cacheEntry // non-nil on the cached path
 	)
 	if key := job.req.cacheKey(); key != "" {
 		// existed=false only for the requester that created the entry; every
 		// later requester (even one blocking on the first build in once.Do)
 		// reuses the assembled system and estimated interval.
-		entry, existed := s.cache.get(key)
+		var existed bool
+		entry, existed = s.cache.get(key)
 		entry.once.Do(func() { entry.build(&job.req) })
 		if entry.err != nil {
 			s.cache.drop(entry)
@@ -318,6 +325,38 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		name = pc.Name()
 	}
 
+	// Resolve the matvec backend against the assembled matrix: the policy
+	// comes from the request ("auto" probes the structure). On the cached
+	// path both the probe decision and the DIA conversion live in the
+	// entry, so repeated solves of a cached problem neither rescan nor
+	// re-convert.
+	policy, err := job.req.Solver.backend()
+	if err != nil {
+		s.transition(job, JobFailed, nil, err)
+		return
+	}
+	var backend core.Backend
+	if entry != nil {
+		backend = entry.resolveBackend(policy)
+	} else {
+		backend = core.ChooseBackend(sys.K, policy)
+	}
+	var op sparse.Operator = sys.K
+	if backend == core.BackendDIA {
+		var dia *sparse.DIA
+		var derr error
+		if entry != nil {
+			dia, derr = entry.getDIA()
+		} else {
+			dia, derr = sparse.NewDIAFromCSR(sys.K)
+		}
+		if derr != nil {
+			s.transition(job, JobFailed, nil, derr)
+			return
+		}
+		op = dia
+	}
+
 	spec := job.req.Solver
 	opts := cg.Options{
 		Tol:            spec.Tol,
@@ -334,14 +373,19 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		return
 	}
 
-	var res *JobResult
-	var err error
-	if job.req.batchSize() > 1 {
-		res, err = s.runBlock(job, sys, plate, pc, fs, opts, bws)
+	if backend == core.BackendDIA {
+		s.solvesDIA.Add(1)
 	} else {
-		res, err = s.runScalar(job, sys, plate, pc, fs[0], opts, ws)
+		s.solvesCSR.Add(1)
+	}
+	var res *JobResult
+	if job.req.batchSize() > 1 {
+		res, err = s.runBlock(job, op, plate, pc, fs, opts, bws)
+	} else {
+		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws)
 	}
 	res.Precond = name
+	res.Backend = backend.String()
 	res.IntervalLo, res.IntervalHi = iv.Lo, iv.Hi
 	if err != nil {
 		s.transition(job, JobFailed, res, err)
@@ -350,10 +394,12 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 	s.transition(job, JobDone, res, nil)
 }
 
-// runScalar is the single-RHS solve path.
-func (s *Service) runScalar(job *Job, sys core.System, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace) (*JobResult, error) {
-	u := make([]float64, sys.K.Rows)
-	st, err := cg.SolveInto(u, sys.K, f, pc, opts, ws)
+// runScalar is the single-RHS solve path. op is the backend-resolved form
+// of the system matrix.
+func (s *Service) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace) (*JobResult, error) {
+	n, _ := op.Dims()
+	u := make([]float64, n)
+	st, err := cg.SolveInto(u, op, f, pc, opts, ws)
 	s.totalIters.Add(int64(st.Iterations))
 
 	res := &JobResult{
@@ -374,11 +420,12 @@ func (s *Service) runScalar(job *Job, sys core.System, plate *fem.Plate, pc prec
 }
 
 // runBlock is the batched solve path: one block CG run for all right-hand
-// sides, per-RHS results split out afterwards.
-func (s *Service) runBlock(job *Job, sys core.System, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
-	n := sys.K.Rows
+// sides, per-RHS results split out afterwards. op is the backend-resolved
+// form of the system matrix.
+func (s *Service) runBlock(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
+	n, _ := op.Dims()
 	u := vec.NewMulti(n, len(fs))
-	st, err := cg.SolveBlockInto(u, sys.K, vec.MultiFromCols(fs), pc, opts, bws)
+	st, err := cg.SolveBlockInto(u, op, vec.MultiFromCols(fs), pc, opts, bws)
 	s.totalIters.Add(int64(st.Iterations))
 
 	res := &JobResult{

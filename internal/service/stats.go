@@ -73,6 +73,12 @@ type Stats struct {
 
 	TotalIterations int64 `json:"total_iterations"`
 
+	// SolvesCSR/SolvesDIA count solves by the matvec backend they actually
+	// ran on (a batched job counts once): the operational view of the
+	// automatic backend selection.
+	SolvesCSR int64 `json:"solves_csr"`
+	SolvesDIA int64 `json:"solves_dia"`
+
 	// LatencyP50/P99 are solve latencies (enqueue→finish) in seconds over
 	// the recent-job window.
 	LatencyP50 float64 `json:"latency_p50_seconds"`

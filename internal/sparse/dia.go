@@ -25,10 +25,13 @@ type DIA struct {
 }
 
 // NewDIAFromCSR converts a square CSR matrix to diagonal storage. Every
-// distinct offset that contains a nonzero becomes a stored diagonal.
-func NewDIAFromCSR(a *CSR) *DIA {
+// distinct offset that contains a nonzero becomes a stored diagonal. A
+// non-square matrix is an error, not a panic: the conversion is reachable
+// from service request bodies, and a malformed request must fail the
+// request, never the daemon.
+func NewDIAFromCSR(a *CSR) (*DIA, error) {
 	if a.Rows != a.Cols {
-		panic("sparse: DIA needs a square matrix")
+		return nil, fmt.Errorf("sparse: DIA needs a square matrix, got %d×%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	seen := map[int]bool{}
@@ -56,7 +59,17 @@ func NewDIAFromCSR(a *CSR) *DIA {
 			diags[idx[d]][i] = a.Val[k]
 		}
 	}
-	return &DIA{N: n, Offsets: offsets, Diags: diags}
+	return &DIA{N: n, Offsets: offsets, Diags: diags}, nil
+}
+
+// MustDIAFromCSR is NewDIAFromCSR for matrices known square by
+// construction; it panics on the error a caller cannot meaningfully handle.
+func MustDIAFromCSR(a *CSR) *DIA {
+	d, err := NewDIAFromCSR(a)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // NumDiags returns the number of stored diagonals.

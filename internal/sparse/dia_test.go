@@ -9,7 +9,7 @@ import (
 
 func TestDIARoundTrip(t *testing.T) {
 	a := small()
-	d := NewDIAFromCSR(a)
+	d := MustDIAFromCSR(a)
 	back := d.ToCSR()
 	if back.NNZ() != a.NNZ() {
 		t.Fatalf("round trip nnz %d vs %d", back.NNZ(), a.NNZ())
@@ -24,7 +24,7 @@ func TestDIARoundTrip(t *testing.T) {
 }
 
 func TestDIAOffsetsTridiagonal(t *testing.T) {
-	d := NewDIAFromCSR(small())
+	d := MustDIAFromCSR(small())
 	want := []int{-1, 0, 1}
 	if len(d.Offsets) != 3 {
 		t.Fatalf("Offsets = %v", d.Offsets)
@@ -41,7 +41,7 @@ func TestDIAMulVecMatchesCSR(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 1 + rng.Intn(40)
 		a := randCSR(rng, n, 3)
-		d := NewDIAFromCSR(a)
+		d := MustDIAFromCSR(a)
 		x := make([]float64, n)
 		for i := range x {
 			x[i] = rng.NormFloat64()
@@ -61,7 +61,7 @@ func TestDIAMulVecMatchesCSR(t *testing.T) {
 }
 
 func TestDIAOpLengths(t *testing.T) {
-	d := NewDIAFromCSR(small())
+	d := MustDIAFromCSR(small())
 	lens := d.OpLengths()
 	want := []int{2, 3, 2} // offsets -1, 0, +1 on a 3×3
 	for i := range want {
@@ -89,7 +89,15 @@ func TestDiagRange(t *testing.T) {
 	}
 }
 
-func TestDIANonSquarePanics(t *testing.T) {
+func TestDIANonSquareErrors(t *testing.T) {
+	c := NewCOO(2, 3)
+	c.Add(0, 0, 1)
+	if _, err := NewDIAFromCSR(c.ToCSR()); err == nil {
+		t.Fatal("expected an error for a non-square matrix")
+	}
+}
+
+func TestMustDIAFromCSRNonSquarePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -97,5 +105,5 @@ func TestDIANonSquarePanics(t *testing.T) {
 	}()
 	c := NewCOO(2, 3)
 	c.Add(0, 0, 1)
-	NewDIAFromCSR(c.ToCSR())
+	MustDIAFromCSR(c.ToCSR())
 }

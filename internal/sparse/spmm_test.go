@@ -75,7 +75,7 @@ func TestDIAMulMatMatchesMulVec(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		n := 1 + rng.Intn(40)
 		s := 1 + rng.Intn(9)
-		a := NewDIAFromCSR(randSquareCSR(rng, n, 0.15))
+		a := MustDIAFromCSR(randSquareCSR(rng, n, 0.15))
 		x := vec.NewMulti(n, s)
 		for i := range x.Data {
 			x.Data[i] = rng.NormFloat64()
@@ -130,7 +130,7 @@ func TestParSpMMLarge(t *testing.T) {
 		}
 	}
 
-	d := NewDIAFromCSR(a)
+	d := MustDIAFromCSR(a)
 	dSerial := vec.NewMulti(n, s)
 	d.MulMatTo(dSerial, x)
 	dPar := vec.NewMulti(n, s)
@@ -153,7 +153,7 @@ func TestParSpMMLarge(t *testing.T) {
 // kernel (bitwise, since each row's accumulation order is unchanged).
 func TestDIAParMulVec(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	a := NewDIAFromCSR(randSquareCSR(rng, 200, 0.1))
+	a := MustDIAFromCSR(randSquareCSR(rng, 200, 0.1))
 	x := make([]float64, 200)
 	for i := range x {
 		x[i] = rng.NormFloat64()

@@ -48,7 +48,7 @@ func analyzeStorage(k *sparse.CSR, start []int) (*storageByDiagonals, error) {
 	}
 	ng := len(start) - 1
 	st := &storageByDiagonals{
-		spmvLengths: sparse.NewDIAFromCSR(k).OpLengths(),
+		spmvLengths: sparse.MustDIAFromCSR(k).OpLengths(),
 		lowerDiags:  make([][]int, ng),
 		upperDiags:  make([][]int, ng),
 		groupLens:   make([]int, ng),

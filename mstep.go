@@ -50,6 +50,16 @@ const (
 	ChebyshevCoeffs    = core.ChebyshevCoeffs
 )
 
+// Matrix storage backends for the CG matvec path (Config.Backend). The
+// default, BackendAuto, probes the matrix structure and picks diagonal
+// (CYBER-style) storage for banded-diagonal systems and CSR for scattered
+// fill; Result.Backend reports the storage a solve actually ran on.
+const (
+	BackendAuto = core.BackendAuto
+	BackendCSR  = core.BackendCSR
+	BackendDIA  = core.BackendDIA
+)
+
 // Problem is an SPD system ready for the m-step PCG solver. Plate problems
 // carry their mesh so solutions can be mapped back to nodes and the
 // parallel-machine simulators can partition them.
