@@ -1,24 +1,36 @@
 // Command solverd runs the m-step PCG solver as a resident HTTP service:
-// a bounded worker pool executes concurrent solves, and a
-// problem/preconditioner cache amortizes plate assembly and spectral
-// interval estimation across requests.
+// a bounded worker pool executes concurrent solves, a planner turns every
+// request into an explicit execution plan (matvec backend, batch tiles,
+// kernel fan-out), and a problem/preconditioner cache amortizes plate
+// assembly and spectral interval estimation across requests.
 //
 // Usage:
 //
-//	solverd -addr :8080 [-workers 4] [-worker-budget 0] [-queue 256] [-cache 64]
+//	solverd -addr :8080 [-workers 4] [-worker-budget 0] [-queue 256]
+//	        [-cache 64] [-tile-budget 8388608] [-drain 30s]
 //
 // API:
 //
-//	POST /v1/solve     {"plate":{"rows":20,"cols":20},"solver":{"m":3,"coeffs":"least-squares"}}
-//	                   add "async":true for 202 + job ID instead of waiting
-//	POST /v1/solve     {"system":{"n":2,"i":[0,1],"j":[0,1],"v":[2,2],"f":[1,0],"key":"demo"},"solver":{"splitting":"jacobi"}}
-//	                   "solver":{"backend":"dia"} forces diagonal (CYBER-style)
-//	                   matvec storage; "csr" forces row storage; "auto" (the
-//	                   default) probes the matrix and picks — the result's
-//	                   "backend" field reports the storage actually used
-//	GET  /v1/jobs/{id} job status and result
-//	GET  /v1/stats     queue depth, cache hit rate, p50/p99 latency,
-//	                   per-backend solve counts (solves_csr / solves_dia)
+//	POST   /v1/solve     {"plate":{"rows":20,"cols":20},"solver":{"m":3,"coeffs":"least-squares"}}
+//	                     add "async":true for 202 + job ID instead of waiting;
+//	                     batched load cases via "plate":{"tractions":[...]} or
+//	                     "system":{"fs":[[...],...]} solve as one block job
+//	POST   /v1/plan      same body (minus "async"): returns the execution
+//	                     plan — backend, column tiles, workers, m — the
+//	                     service would run it with, without solving
+//	GET    /v1/jobs/{id} job status and result; with "Accept:
+//	                     text/event-stream" (or "?watch=1" for chunked JSON
+//	                     lines) streams each load case's result as it
+//	                     converges, ending with the finished job
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/stats     queue depth, cache hit rate, p50/p99 latency,
+//	                     per-backend solve counts, tiles executed, live
+//	                     stream subscribers
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains:
+// in-flight requests — including long-lived result streams — get the drain
+// deadline to finish; past it, streaming connections are severed and the
+// service shuts down hard so the process never wedges on a stuck client.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,26 +53,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("solverd: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
-		budget  = flag.Int("worker-budget", 0, "kernel goroutines per solve (0 = GOMAXPROCS/workers)")
-		queue   = flag.Int("queue", 256, "job queue depth (further submissions get 503)")
-		cache   = flag.Int("cache", 64, "problem/preconditioner cache entries")
-		history = flag.Int("history", 512, "finished jobs kept for /v1/jobs lookups")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		budget     = flag.Int("worker-budget", 0, "kernel goroutines per solve (0 = GOMAXPROCS/workers)")
+		tileBudget = flag.Int("tile-budget", 0, "batch tile cache budget in bytes (0 = planner default)")
+		queue      = flag.Int("queue", 256, "job queue depth (further submissions get 503)")
+		cache      = flag.Int("cache", 64, "problem/preconditioner cache entries")
+		history    = flag.Int("history", 512, "finished jobs kept for /v1/jobs lookups")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight jobs and streams")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		WorkerBudget: *budget,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		HistoryLimit: *history,
+		Workers:         *workers,
+		WorkerBudget:    *budget,
+		TileBudgetBytes: *tileBudget,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		HistoryLimit:    *history,
 	})
+
+	// Every request context derives from rootCtx: canceling it is the
+	// hard-stop lever that unblocks long-lived SSE/watch streams whose
+	// jobs didn't finish inside the drain deadline (Shutdown alone would
+	// wait on them forever).
+	rootCtx, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return rootCtx },
 	}
 
 	go func() {
@@ -72,12 +96,28 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("shutting down: draining in-flight requests and queued jobs")
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	log.Printf("shutting down: draining in-flight requests, streams and queued jobs (deadline %s)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		log.Printf("drain deadline exceeded (%v): severing remaining streams", err)
+		hardStop() // cancels every request context; stream loops exit
+		if err := srv.Close(); err != nil {
+			log.Printf("http close: %v", err)
+		}
+		svc.Abort()
 	}
-	svc.Close()
+	// The queue drain honors the same deadline: past it, queued and
+	// running jobs are canceled so Close terminates promptly instead of
+	// fully solving the backlog.
+	closed := make(chan struct{})
+	go func() { svc.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-ctx.Done():
+		log.Print("drain deadline exceeded: aborting queued and running jobs")
+		svc.Abort()
+		<-closed
+	}
 	log.Print("bye")
 }

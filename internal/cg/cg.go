@@ -5,6 +5,7 @@
 package cg
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -51,6 +52,21 @@ type Options struct {
 	// this to a per-job budget so p concurrent jobs × w workers never
 	// oversubscribe GOMAXPROCS.
 	Workers int
+	// Ctx, when non-nil, is polled once per iteration: after it is
+	// canceled the solve stops at the next iteration boundary and reports
+	// the context's error (the partial iterate is still returned). This is
+	// how the solver service propagates a disconnected client into a
+	// long-running solve instead of leaking it.
+	Ctx context.Context
+	// OnColumnDone, when non-nil, is invoked by block solves the moment a
+	// column leaves the active set — converged, broken down, canceled, or
+	// out of iterations — with the column's original right-hand-side index
+	// and its final statistics. It fires from the solving goroutine while
+	// the remaining columns keep iterating, so early-converging columns
+	// surface before the block finishes; the column's slice of the iterate
+	// block is final and safe to read inside the callback. Every column
+	// fires exactly once per solve. Scalar solves ignore it.
+	OnColumnDone func(col int, stats ColumnStats)
 }
 
 // Stats reports what a solve did.

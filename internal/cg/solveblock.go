@@ -40,6 +40,17 @@ type BlockStats struct {
 	ColErrs []error
 }
 
+// ColumnStats is the payload of Options.OnColumnDone: a snapshot of one
+// column's final statistics, taken the moment the column leaves the active
+// set (it does not alias the workspace, unlike BlockStats.Cols).
+type ColumnStats struct {
+	// Stats is the column's final per-column recurrence report.
+	Stats Stats
+	// Err is the column's failure — breakdown, iteration limit, or the
+	// context's error on cancellation; nil when the column converged.
+	Err error
+}
+
 // BlockWorkspace holds the scratch for SolveBlockInto, so repeated block
 // solves of same-shaped batches (the solver service's steady state)
 // allocate nothing. Not safe for concurrent use; give each worker its own.
@@ -144,7 +155,10 @@ func SolveBlock(k sparse.Operator, f *vec.Multi, m precond.Preconditioner, opt O
 //
 // u receives the solutions (always starting from the zero iterate;
 // opt.X0 is rejected). opt.History, opt.OnIteration and
-// opt.VerifyResidual are scalar-solve options and are ignored here. With a
+// opt.VerifyResidual are scalar-solve options and are ignored here;
+// opt.Ctx and opt.OnColumnDone are honored — cancellation stops at the
+// next iteration boundary, and each column's retirement fires the hook
+// while the rest of the block keeps iterating. With a
 // warm workspace and Workers ≤ 1 the steady state performs no heap
 // allocation; the returned BlockStats.Cols/ColErrs alias the workspace, so
 // copy them before its next solve if they must survive it.
@@ -210,8 +224,16 @@ func SolveBlockInto(u *vec.Multi, k sparse.Operator, f *vec.Multi, m precond.Pre
 	act := s
 	// deflate retires the column in the given active slot: its per-column
 	// bookkeeping is already final, so swap it (and every per-slot scalar
-	// the remaining iterations still read) past the active prefix.
+	// the remaining iterations still read) past the active prefix, then
+	// surface it through OnColumnDone — the column's slice of u is final
+	// here, long before the slowest column finishes.
 	deflate := func(slot int) {
+		j := ws.perm[slot]
+		defer func() {
+			if opt.OnColumnDone != nil {
+				opt.OnColumnDone(j, ColumnStats{Stats: ws.cols[j], Err: ws.errs[j]})
+			}
+		}()
 		last := act - 1
 		if slot != last {
 			ws.rv.SwapCols(slot, last)
@@ -251,7 +273,14 @@ func SolveBlockInto(u *vec.Multi, k sparse.Operator, f *vec.Multi, m precond.Pre
 		}
 	}
 
+	var stopErr error
 	for act > 0 && st.Iterations < opt.MaxIter {
+		if opt.Ctx != nil {
+			if cerr := opt.Ctx.Err(); cerr != nil {
+				stopErr = cerr
+				break
+			}
+		}
 		st.Iterations++
 
 		// One SpMM feeds every active column: KP = K·P.
@@ -344,8 +373,19 @@ func SolveBlockInto(u *vec.Multi, k sparse.Operator, f *vec.Multi, m precond.Pre
 		vec.ParMultiXpay(&ws.rhatv, ws.beta[:act], &ws.pv, w)
 	}
 
+	// Columns still active at exit ran out of iterations — or the context
+	// was canceled; either way they surface through the hook exactly like
+	// deflated ones, so every column fires OnColumnDone once per solve.
+	exitErr := ErrMaxIterations
+	if stopErr != nil {
+		exitErr = stopErr
+	}
 	for slot := 0; slot < act; slot++ {
-		ws.errs[ws.perm[slot]] = ErrMaxIterations
+		j := ws.perm[slot]
+		ws.errs[j] = exitErr
+		if opt.OnColumnDone != nil {
+			opt.OnColumnDone(j, ColumnStats{Stats: ws.cols[j], Err: exitErr})
+		}
 	}
 	st.Converged = true
 	for j := range ws.cols {

@@ -132,6 +132,12 @@ func SolveInto(u []float64, k sparse.Operator, f []float64, m precond.Preconditi
 		reterr = ErrMaxIterations // cleared by any successful exit below
 	loop:
 		for iter := 0; iter < opt.MaxIter; iter++ {
+			if opt.Ctx != nil {
+				if cerr := opt.Ctx.Err(); cerr != nil {
+					reterr = cerr
+					break loop
+				}
+			}
 			k.ParMulVecTo(kp, p, w)
 			st.MatVecs++
 			pkp := vec.ParDot(p, kp, w)

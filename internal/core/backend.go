@@ -1,110 +1,48 @@
 package core
 
 import (
-	"fmt"
-
+	"repro/internal/plan"
 	"repro/internal/sparse"
 )
 
-// Backend selects the matrix storage the CG matvec path runs on. The
-// preconditioner always keeps the CSR form (the SSOR sweeps need row
-// structure); the backend only decides how K itself is applied.
-type Backend int
+// Backend selects the matrix storage the CG matvec path runs on. The type
+// (and its auto-selection heuristics) live in internal/plan, where the
+// planner consumes the structure probes; the alias keeps core's public
+// surface unchanged.
+type Backend = plan.Backend
 
 const (
 	// BackendAuto (the zero value) probes the matrix structure and picks
 	// the backend itself; see ChooseBackend.
-	BackendAuto Backend = iota
+	BackendAuto = plan.BackendAuto
 	// BackendCSR forces compressed-sparse-row storage.
-	BackendCSR
+	BackendCSR = plan.BackendCSR
 	// BackendDIA forces diagonal (Madsen–Rodrigue–Karush) storage, the
 	// paper's CYBER 203/205 layout. Requires a square matrix.
-	BackendDIA
+	BackendDIA = plan.BackendDIA
 )
-
-func (b Backend) String() string {
-	switch b {
-	case BackendAuto:
-		return "auto"
-	case BackendCSR:
-		return "csr"
-	case BackendDIA:
-		return "dia"
-	}
-	return "?"
-}
 
 // ParseBackend resolves a backend name ("", "auto", "csr", "dia"); the
 // empty string means Auto.
-func ParseBackend(name string) (Backend, error) {
-	switch name {
-	case "", "auto":
-		return BackendAuto, nil
-	case "csr":
-		return BackendCSR, nil
-	case "dia":
-		return BackendDIA, nil
-	}
-	return 0, fmt.Errorf("core: unknown backend %q (want auto, csr or dia)", name)
-}
-
-// Auto-selection thresholds. Diagonal storage performs numDiags·n
-// multiply-adds where CSR performs NNZ, so its padding overhead is the
-// reciprocal of the DIA fill ratio NNZ/(numDiags·n); in exchange every
-// operand is a long contiguous diagonal — the regular access pattern the
-// paper's CYBER layout is built on. DIA pays off when the matrix occupies
-// a bounded, size-independent family of diagonals (banded multicolor
-// systems, eq. 3.2 of the paper: the 6-color plate stays at ~47 diagonals
-// at every size, simple 5-point stencils at 5), and loses badly on
-// scattered fill, where the diagonal count grows with n and the fill
-// ratio collapses.
-const (
-	// autoMaxDiags bounds the stored-diagonal count Auto accepts: above
-	// it, even a moderate fill ratio means streaming many mostly-padding
-	// vectors.
-	autoMaxDiags = 128
-	// autoMinFill is the lowest DIA fill ratio Auto accepts — at most
-	// 1/autoMinFill padded flops per CSR flop. The colored plate sits
-	// near 0.25, dense-diagonal stencils near 1, scattered fill near 0.
-	autoMinFill = 1.0 / 6
-)
+func ParseBackend(name string) (Backend, error) { return plan.ParseBackend(name) }
 
 // ChooseBackend resolves a backend policy against a concrete matrix: CSR
-// and DIA pass through (DIA only if convertible), and Auto picks DIA
-// exactly when the structure probes say diagonal storage is the banded
-// regime it wins in — few distinct diagonals and a bounded padding
-// overhead — and CSR otherwise.
+// and DIA pass through, and Auto probes the structure (see plan.Probe) and
+// picks DIA exactly when diagonal storage is in the banded regime it wins
+// in. Callers that re-resolve the same matrix should keep a plan.Probe
+// instead of rescanning.
 func ChooseBackend(k *sparse.CSR, policy Backend) Backend {
-	switch policy {
-	case BackendCSR, BackendDIA:
+	if policy != BackendAuto {
 		return policy
 	}
-	if k.Rows != k.Cols || k.NNZ() == 0 {
-		return BackendCSR
-	}
-	// Every row's entries sit on distinct diagonals, so MaxRowNNZ lower-
-	// bounds the diagonal count — a cheap early out before the full scan.
-	if k.MaxRowNNZ() > autoMaxDiags {
-		return BackendCSR
-	}
-	nd, _ := k.DiagStats()
-	if nd == 0 || nd > autoMaxDiags {
-		return BackendCSR
-	}
-	// The quantity CSR.DIAFillRatio reports, computed from the DiagStats
-	// scan above rather than by calling the helper (which would rescan).
-	fill := float64(k.NNZ()) / (float64(nd) * float64(k.Rows))
-	if fill < autoMinFill {
-		return BackendCSR
-	}
-	return BackendDIA
+	return plan.NewProbe(k).Choose(policy)
 }
 
-// operatorFor materializes the operator the resolved backend names. The
-// DIA conversion is performed here (callers that solve the same matrix
+// operatorFor materializes the operator a resolved backend names. The DIA
+// conversion is performed here (callers that solve the same matrix
 // repeatedly — the service cache — convert once and keep the result).
-func operatorFor(k *sparse.CSR, policy Backend) (sparse.Operator, Backend, error) {
-	switch ChooseBackend(k, policy) {
+func operatorFor(k *sparse.CSR, backend Backend) (sparse.Operator, Backend, error) {
+	switch backend {
 	case BackendDIA:
 		d, err := sparse.NewDIAFromCSR(k)
 		if err != nil {

@@ -7,11 +7,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cg"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/plan"
 	"repro/internal/poly"
 	"repro/internal/precond"
 	"repro/internal/sparse"
@@ -116,6 +118,15 @@ type Config struct {
 	// works from the CSR form). The zero value is BackendAuto: probe the
 	// structure and pick DIA for banded-diagonal systems, CSR otherwise.
 	Backend Backend
+	// TileBudgetBytes bounds the multivector working set of one batch tile
+	// in SolveBatch: wide batches are split by the planner into cache-sized
+	// column tiles executed sequentially (0 = plan.DefaultBudgetBytes).
+	TileBudgetBytes int
+}
+
+// planner returns the execution planner the config's budgets select.
+func (c Config) planner() plan.Planner {
+	return plan.Planner{BudgetBytes: c.TileBudgetBytes}
 }
 
 // Result reports a solve.
@@ -229,7 +240,9 @@ func BuildPreconditioner(sys System, cfg Config) (precond.Preconditioner, poly.A
 	return p, a, iv, nil
 }
 
-// Solve runs the configured m-step PCG on the system.
+// Solve runs the configured m-step PCG on the system. The execution shape
+// — matvec backend and kernel fan-out — comes from the planner, the same
+// decision path the solver service uses.
 func Solve(sys System, cfg Config) (Result, error) {
 	if sys.K == nil || len(sys.F) != sys.K.Rows {
 		return Result{}, fmt.Errorf("core: malformed system (K nil or |F|=%d != n)", len(sys.F))
@@ -238,7 +251,10 @@ func Solve(sys System, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	op, backend, err := operatorFor(sys.K, cfg.Backend)
+	pl := cfg.planner().Plan(plan.Inputs{
+		K: sys.K, Policy: cfg.Backend, RHS: 1, M: cfg.M, Workers: cfg.Workers,
+	})
+	op, backend, err := operatorFor(sys.K, pl.Backend)
 	if err != nil {
 		return Result{}, err
 	}
@@ -250,7 +266,7 @@ func Solve(sys System, cfg Config) (Result, error) {
 		RelResidualTol: cfg.RelResidualTol,
 		MaxIter:        cfg.MaxIter,
 		History:        cfg.History,
-		Workers:        cfg.Workers,
+		Workers:        pl.Workers,
 	})
 	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv, Backend: backend.String()}
 	return res, err
@@ -282,31 +298,52 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, backend, err := operatorFor(sys.K, cfg.Backend)
+	pl := cfg.planner().Plan(plan.Inputs{
+		K: sys.K, Policy: cfg.Backend, RHS: len(fs), M: cfg.M, Workers: cfg.Workers,
+	})
+	op, backend, err := operatorFor(sys.K, pl.Backend)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Tol <= 0 && cfg.RelResidualTol <= 0 {
 		cfg.Tol = 1e-6
 	}
-	u, bst, berr := cg.SolveBlock(op, vec.MultiFromCols(fs), p, cg.Options{
+	opt := cg.Options{
 		Tol:            cfg.Tol,
 		RelResidualTol: cfg.RelResidualTol,
 		MaxIter:        cfg.MaxIter,
-		Workers:        cfg.Workers,
-	})
+		Workers:        pl.Workers,
+	}
+	// Execute the plan's column tiles sequentially, reusing one workspace:
+	// each tile's multivector working set stays inside the planner's cache
+	// budget, and per-column arithmetic is tile-invariant (the fused block
+	// kernels preserve per-column order), so results match the untiled
+	// solve exactly.
 	out := make([]Result, len(fs))
-	for j := range out {
-		out[j] = Result{
-			U:        vec.Clone(u.Col(j)),
-			Stats:    bst.Cols[j],
-			Precond:  p.Name(),
-			Alphas:   a,
-			Interval: iv,
-			Backend:  backend.String(),
+	var errs []error
+	bws := cg.NewBlockWorkspace(n, len(pl.Tiles[0]))
+	for _, tileCols := range pl.Tiles {
+		cols := make([][]float64, len(tileCols))
+		for i, c := range tileCols {
+			cols[i] = fs[c]
+		}
+		u := vec.NewMulti(n, len(tileCols))
+		bst, berr := cg.SolveBlockInto(u, op, vec.MultiFromCols(cols), p, opt, bws)
+		if berr != nil {
+			errs = append(errs, berr)
+		}
+		for i, c := range tileCols {
+			out[c] = Result{
+				U:        vec.Clone(u.Col(i)),
+				Stats:    bst.Cols[i],
+				Precond:  p.Name(),
+				Alphas:   a,
+				Interval: iv,
+				Backend:  backend.String(),
+			}
 		}
 	}
-	return out, berr
+	return out, errors.Join(errs...)
 }
 
 // PlateSystem builds the paper's plane-stress test problem in the 6-color

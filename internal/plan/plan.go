@@ -1,0 +1,328 @@
+// Package plan turns one solve's shape — matrix structure, batch width,
+// worker and cache budgets — into an explicit execution Plan. It is the
+// single place the per-request decisions the service and core used to make
+// inline (matvec backend, kernel fan-out, batch tiling) are taken, the
+// software analogue of the paper's central argument: match the algorithm's
+// layout to the machine before running it, not while running it.
+//
+// The package sits below internal/core: it sees only the sparse matrix
+// structure (via Probe) and budgets, never the solver configuration types.
+// core re-exports the Backend enum as a type alias, so existing callers of
+// core.Backend are unaffected by the move.
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Backend selects the matrix storage the CG matvec path runs on. The
+// preconditioner always keeps the CSR form (the SSOR sweeps need row
+// structure); the backend only decides how K itself is applied.
+type Backend int
+
+const (
+	// BackendAuto (the zero value) probes the matrix structure and picks
+	// the backend itself; see Probe.Choose.
+	BackendAuto Backend = iota
+	// BackendCSR forces compressed-sparse-row storage.
+	BackendCSR
+	// BackendDIA forces diagonal (Madsen–Rodrigue–Karush) storage, the
+	// paper's CYBER 203/205 layout. Requires a square matrix.
+	BackendDIA
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendCSR:
+		return "csr"
+	case BackendDIA:
+		return "dia"
+	}
+	return "?"
+}
+
+// ParseBackend resolves a backend name ("", "auto", "csr", "dia"); the
+// empty string means Auto.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "auto":
+		return BackendAuto, nil
+	case "csr":
+		return BackendCSR, nil
+	case "dia":
+		return BackendDIA, nil
+	}
+	return 0, fmt.Errorf("plan: unknown backend %q (want auto, csr or dia)", name)
+}
+
+// Auto-selection thresholds. Diagonal storage performs numDiags·n
+// multiply-adds where CSR performs NNZ, so its padding overhead is the
+// reciprocal of the DIA fill ratio NNZ/(numDiags·n); in exchange every
+// operand is a long contiguous diagonal — the regular access pattern the
+// paper's CYBER layout is built on. DIA pays off when the matrix occupies
+// a bounded, size-independent family of diagonals (banded multicolor
+// systems, eq. 3.2 of the paper: the 6-color plate stays at ~47 diagonals
+// at every size, simple 5-point stencils at 5), and loses badly on
+// scattered fill, where the diagonal count grows with n and the fill
+// ratio collapses.
+const (
+	// autoMaxDiags bounds the stored-diagonal count Auto accepts: above
+	// it, even a moderate fill ratio means streaming many mostly-padding
+	// vectors.
+	autoMaxDiags = 128
+	// autoMinFill is the lowest DIA fill ratio Auto accepts — at most
+	// 1/autoMinFill padded flops per CSR flop. The colored plate sits
+	// near 0.25, dense-diagonal stencils near 1, scattered fill near 0.
+	autoMinFill = 1.0 / 6
+)
+
+// Probe is the structure scan of one matrix: everything the planner needs
+// to know about K, decoupled from the matrix itself so cache layers can
+// memoize it (the matrix is immutable per cache entry, so the O(nnz)
+// pattern scan runs once, not once per request).
+type Probe struct {
+	// Rows, Cols are the matrix dimensions.
+	Rows, Cols int
+	// NNZ is the stored-entry count.
+	NNZ int
+	// MaxRowNNZ is the widest row (a lower bound on the diagonal count).
+	MaxRowNNZ int
+	// NumDiags is the number of occupied diagonals.
+	NumDiags int
+	// Fill is the DIA fill ratio NNZ/(NumDiags·Rows), 0 when NumDiags is 0.
+	Fill float64
+}
+
+// NewProbe scans k's structure. One pass over the pattern (O(nnz)); callers
+// that solve the same matrix repeatedly should keep the result.
+func NewProbe(k *sparse.CSR) Probe {
+	p := Probe{Rows: k.Rows, Cols: k.Cols, NNZ: k.NNZ(), MaxRowNNZ: k.MaxRowNNZ()}
+	if p.Rows == p.Cols && p.NNZ > 0 {
+		nd, _ := k.DiagStats()
+		p.NumDiags = nd
+		if nd > 0 {
+			p.Fill = float64(p.NNZ) / (float64(nd) * float64(p.Rows))
+		}
+	}
+	return p
+}
+
+// Choose resolves a backend policy against the probed structure: CSR and
+// DIA pass through, and Auto picks DIA exactly when diagonal storage is in
+// the banded regime it wins in — few distinct diagonals and a bounded
+// padding overhead — and CSR otherwise.
+func (p Probe) Choose(policy Backend) Backend {
+	switch policy {
+	case BackendCSR, BackendDIA:
+		return policy
+	}
+	if p.Rows != p.Cols || p.NNZ == 0 {
+		return BackendCSR
+	}
+	// Every row's entries sit on distinct diagonals, so MaxRowNNZ lower-
+	// bounds the diagonal count — a cheap early out.
+	if p.MaxRowNNZ > autoMaxDiags {
+		return BackendCSR
+	}
+	if p.NumDiags == 0 || p.NumDiags > autoMaxDiags {
+		return BackendCSR
+	}
+	if p.Fill < autoMinFill {
+		return BackendCSR
+	}
+	return BackendDIA
+}
+
+// Planner defaults. The tile budget bounds the block solve's per-iteration
+// multivector working set (the four CG scratch blocks plus the iterate and
+// right-hand side — six n-vectors per column at 8 bytes each); sequential
+// tiles each re-stream the matrix, so the budget trades matrix-traversal
+// amortization against multivector cache residency.
+const (
+	// DefaultBudgetBytes is the default tile cache budget: a conservative
+	// share of a contemporary L3 slice.
+	DefaultBudgetBytes = 8 << 20
+	// DefaultMaxTile caps a tile's width even when the budget would allow
+	// more — beyond it the SpMM row-scan fusion has already amortized the
+	// matrix traversal and wider tiles only grow the working set.
+	DefaultMaxTile = 32
+	// DefaultMinTile keeps tiles from dropping below the SpMM fusion
+	// width: a narrower tile wastes the block machinery, so huge systems
+	// run 8-wide tiles and eat the cache misses.
+	DefaultMinTile = 8
+	// bytesPerColumn is the block solve's resident vectors per batch
+	// column: r, r̂, p, Kp scratch plus u and f, 8 bytes per element.
+	bytesPerColumn = 6 * 8
+)
+
+// Planner turns solve inputs into execution plans. The zero value uses the
+// defaults above; it is pure (no internal state), so equal Inputs always
+// produce equal Plans — a cache hit re-planning a warm request decides
+// exactly what the cold request decided.
+type Planner struct {
+	// BudgetBytes bounds the multivector working set of one tile
+	// (default DefaultBudgetBytes).
+	BudgetBytes int
+	// MaxTile caps columns per tile (default DefaultMaxTile).
+	MaxTile int
+	// MinTile floors the tile width for huge systems (default
+	// DefaultMinTile).
+	MinTile int
+}
+
+// Inputs describes one solve to the planner.
+type Inputs struct {
+	// K is the assembled matrix; probed when Probe is nil. Callers with a
+	// memoized Probe (the service cache) may leave K nil.
+	K *sparse.CSR
+	// Probe, when non-nil, is the memoized structure scan of K.
+	Probe *Probe
+	// Policy is the requested backend (Auto probes the structure).
+	Policy Backend
+	// RHS is the batch width s (right-hand sides solved together).
+	RHS int
+	// M is the preconditioner step count (recorded in the plan).
+	M int
+	// Workers is the kernel goroutine budget available to the solve.
+	Workers int
+}
+
+// Plan is the resolved execution decision for one solve: which storage the
+// matvec path runs on, how the batch is split into column tiles, the kernel
+// fan-out each tile runs with, and the preconditioner step count.
+type Plan struct {
+	// Backend is the resolved matvec storage (never Auto).
+	Backend Backend
+	// Tiles partitions the RHS column indices 0..s-1 into contiguous
+	// groups executed as sequential block solves. Always at least one
+	// tile; a batch at or under the tile width is a single tile.
+	Tiles [][]int
+	// Workers is the kernel goroutine fan-out per tile (≥ 1; 1 when the
+	// system is too small for the parallel kernels to engage).
+	Workers int
+	// M is the preconditioner step count the solve runs with.
+	M int
+}
+
+// TileWidths reports the size of each tile (a compact summary for logs and
+// stats).
+func (p Plan) TileWidths() []int {
+	w := make([]int, len(p.Tiles))
+	for i, t := range p.Tiles {
+		w[i] = len(t)
+	}
+	return w
+}
+
+// minParallelRows mirrors vec's serial-fallback threshold: below it the
+// parallel kernels run serially regardless of budget, so the plan records
+// an effective fan-out of 1.
+const minParallelRows = 4096
+
+// Plan resolves in into an execution plan. It never fails: missing probes
+// are computed from K, and a nil K with a forced policy plans structure-
+// blind (tiling then assumes nothing about n and uses MaxTile).
+func (pl Planner) Plan(in Inputs) Plan {
+	budget := pl.BudgetBytes
+	if budget <= 0 {
+		budget = DefaultBudgetBytes
+	}
+	maxTile := pl.MaxTile
+	if maxTile <= 0 {
+		maxTile = DefaultMaxTile
+	}
+	minTile := pl.MinTile
+	if minTile <= 0 {
+		minTile = DefaultMinTile
+	}
+	if minTile > maxTile {
+		minTile = maxTile
+	}
+
+	probe := in.Probe
+	if probe == nil && in.K != nil {
+		p := NewProbe(in.K)
+		probe = &p
+	}
+
+	var backend Backend
+	switch {
+	case in.Policy != BackendAuto:
+		backend = in.Policy
+	case probe != nil:
+		backend = probe.Choose(BackendAuto)
+	default:
+		backend = BackendCSR
+	}
+
+	rows := 0
+	if probe != nil {
+		rows = probe.Rows
+	}
+
+	s := in.RHS
+	if s < 1 {
+		s = 1
+	}
+
+	// Tile width: how many columns of six resident n-vectors fit the
+	// budget, clamped to [minTile, maxTile]. Unknown n plans optimistically
+	// at maxTile.
+	width := maxTile
+	if rows > 0 {
+		width = budget / (rows * bytesPerColumn)
+		if width > maxTile {
+			width = maxTile
+		}
+		if width < minTile {
+			width = minTile
+		}
+	}
+
+	workers := in.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if rows > 0 && rows < minParallelRows {
+		// The vec kernels fall back to serial below this size; record the
+		// fan-out the solve will actually use.
+		workers = 1
+	}
+
+	return Plan{
+		Backend: backend,
+		Tiles:   tile(s, width),
+		Workers: workers,
+		M:       in.M,
+	}
+}
+
+// tile partitions 0..s-1 into ⌈s/width⌉ contiguous, balanced groups (sizes
+// differ by at most one — splitting 33 columns 32+1 would run the last tile
+// as a degenerate near-scalar solve; 17+16 keeps both tiles block-shaped).
+func tile(s, width int) [][]int {
+	if width < 1 {
+		width = 1
+	}
+	nt := (s + width - 1) / width
+	tiles := make([][]int, nt)
+	base, rem := s/nt, s%nt
+	next := 0
+	for i := range tiles {
+		size := base
+		if i < rem {
+			size++
+		}
+		t := make([]int, size)
+		for j := range t {
+			t[j] = next
+			next++
+		}
+		tiles[i] = t
+	}
+	return tiles
+}

@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// pinned returns a planner whose tile width resolves to exactly `width`
+// for a `rows`-dimensional system: budget = width·rows·bytesPerColumn.
+func pinned(rows, width int) Planner {
+	return Planner{BudgetBytes: width * rows * bytesPerColumn, MaxTile: 64, MinTile: 1}
+}
+
+func checkTiles(t *testing.T, tiles [][]int, s, maxWidth int) {
+	t.Helper()
+	if len(tiles) == 0 {
+		t.Fatalf("no tiles for s=%d", s)
+	}
+	next := 0
+	minSz, maxSz := s+1, 0
+	for i, tile := range tiles {
+		if len(tile) == 0 {
+			t.Fatalf("tile %d empty", i)
+		}
+		if len(tile) > maxWidth {
+			t.Fatalf("tile %d has %d columns, budget allows %d", i, len(tile), maxWidth)
+		}
+		minSz = min(minSz, len(tile))
+		maxSz = max(maxSz, len(tile))
+		for _, c := range tile {
+			if c != next {
+				t.Fatalf("tile %d: column %d out of order (want %d) — tiles must cover 0..s-1 contiguously", i, c, next)
+			}
+			next++
+		}
+	}
+	if next != s {
+		t.Fatalf("tiles cover %d columns, want %d", next, s)
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("unbalanced tiles: sizes range %d..%d (want within 1)", minSz, maxSz)
+	}
+}
+
+func TestTileBoundaries(t *testing.T) {
+	const rows, width = 1000, 16
+	pl := pinned(rows, width)
+	probe := &Probe{Rows: rows, Cols: rows, NNZ: 5 * rows, MaxRowNNZ: 5, NumDiags: 5, Fill: 1}
+	for _, tc := range []struct {
+		s         int
+		wantTiles int
+	}{
+		{1, 1},   // a scalar solve is one single-column tile
+		{8, 1},   // at/under the width: never split
+		{16, 1},  // exactly the width: one full tile
+		{17, 2},  // just over: split 9+8, not 16+1
+		{63, 4},  // 16+16+16+15
+		{129, 9}, // ⌈129/16⌉ = 9 balanced tiles
+	} {
+		p := pl.Plan(Inputs{Probe: probe, RHS: tc.s, M: 3, Workers: 2})
+		if len(p.Tiles) != tc.wantTiles {
+			t.Errorf("s=%d: got %d tiles (widths %v), want %d", tc.s, len(p.Tiles), p.TileWidths(), tc.wantTiles)
+		}
+		checkTiles(t, p.Tiles, tc.s, width)
+		if p.M != 3 {
+			t.Errorf("s=%d: plan dropped M: got %d", tc.s, p.M)
+		}
+	}
+}
+
+func TestTileWidthClamps(t *testing.T) {
+	probe := &Probe{Rows: 1 << 20, Cols: 1 << 20, NNZ: 5 << 20, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	// A huge system would compute a sub-1 width; MinTile floors it.
+	p := Planner{}.Plan(Inputs{Probe: probe, RHS: 64})
+	checkTiles(t, p.Tiles, 64, DefaultMinTile)
+	// A tiny system would compute an enormous width; MaxTile caps it.
+	small := &Probe{Rows: 10, Cols: 10, NNZ: 30, NumDiags: 3, MaxRowNNZ: 3, Fill: 1}
+	p = Planner{}.Plan(Inputs{Probe: small, RHS: 200})
+	for _, tile := range p.Tiles {
+		if len(tile) > DefaultMaxTile {
+			t.Fatalf("tile width %d exceeds MaxTile %d", len(tile), DefaultMaxTile)
+		}
+	}
+	checkTiles(t, p.Tiles, 200, DefaultMaxTile)
+}
+
+// TestPlanStability pins the cache-hit contract: planning the same inputs
+// twice — the warm-path replan of a cached problem — yields identical
+// plans, including tile boundaries and backend.
+func TestPlanStability(t *testing.T) {
+	k := banded(500)
+	probe := NewProbe(k)
+	pl := Planner{}
+	in := Inputs{Probe: &probe, Policy: BackendAuto, RHS: 63, M: 4, Workers: 3}
+	first := pl.Plan(in)
+	for i := 0; i < 5; i++ {
+		if got := pl.Plan(in); !reflect.DeepEqual(got, first) {
+			t.Fatalf("plan %d differs from first:\n got %+v\nwant %+v", i, got, first)
+		}
+	}
+	// The memoized-probe path and the direct-K path must also agree.
+	if got := pl.Plan(Inputs{K: k, Policy: BackendAuto, RHS: 63, M: 4, Workers: 3}); !reflect.DeepEqual(got, first) {
+		t.Fatalf("probe-path and K-path plans differ:\n got %+v\nwant %+v", got, first)
+	}
+}
+
+func TestPlanWorkers(t *testing.T) {
+	big := &Probe{Rows: 1 << 16, Cols: 1 << 16, NNZ: 5 << 16, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	if got := (Planner{}).Plan(Inputs{Probe: big, RHS: 1, Workers: 4}).Workers; got != 4 {
+		t.Errorf("large system: workers = %d, want 4", got)
+	}
+	small := &Probe{Rows: 100, Cols: 100, NNZ: 300, NumDiags: 3, MaxRowNNZ: 3, Fill: 1}
+	if got := (Planner{}).Plan(Inputs{Probe: small, RHS: 1, Workers: 4}).Workers; got != 1 {
+		t.Errorf("sub-parallel system: workers = %d, want 1 (serial fallback)", got)
+	}
+	if got := (Planner{}).Plan(Inputs{Probe: big, RHS: 1, Workers: 0}).Workers; got != 1 {
+		t.Errorf("zero budget: workers = %d, want 1", got)
+	}
+}
+
+func TestPlanBackendResolution(t *testing.T) {
+	k := banded(300)
+	probe := NewProbe(k)
+	if got := (Planner{}).Plan(Inputs{Probe: &probe, Policy: BackendCSR}).Backend; got != BackendCSR {
+		t.Errorf("forced CSR resolved to %v", got)
+	}
+	if got := (Planner{}).Plan(Inputs{Probe: &probe, Policy: BackendDIA}).Backend; got != BackendDIA {
+		t.Errorf("forced DIA resolved to %v", got)
+	}
+	if got := (Planner{}).Plan(Inputs{Probe: &probe, Policy: BackendAuto}).Backend; got != BackendDIA {
+		t.Errorf("auto on a banded system resolved to %v, want dia", got)
+	}
+	// Structure-blind (no K, no probe): auto falls back to CSR, tiling
+	// still covers the batch.
+	p := (Planner{}).Plan(Inputs{Policy: BackendAuto, RHS: 40})
+	if p.Backend != BackendCSR {
+		t.Errorf("blind auto resolved to %v, want csr", p.Backend)
+	}
+	checkTiles(t, p.Tiles, 40, DefaultMaxTile)
+}
+
+func TestNewProbe(t *testing.T) {
+	k := banded(200)
+	p := NewProbe(k)
+	if p.Rows != 200 || p.Cols != 200 {
+		t.Fatalf("probe dims %dx%d", p.Rows, p.Cols)
+	}
+	nd, _ := k.DiagStats()
+	if p.NumDiags != nd {
+		t.Errorf("probe diags %d, want %d", p.NumDiags, nd)
+	}
+	if p.NNZ != k.NNZ() || p.MaxRowNNZ != k.MaxRowNNZ() {
+		t.Errorf("probe nnz/maxrow %d/%d, want %d/%d", p.NNZ, p.MaxRowNNZ, k.NNZ(), k.MaxRowNNZ())
+	}
+	wantFill := float64(k.NNZ()) / (float64(nd) * 200)
+	if p.Fill != wantFill {
+		t.Errorf("probe fill %g, want %g", p.Fill, wantFill)
+	}
+}
+
+// banded builds a tridiagonal SPD system — 3 dense diagonals, the regime
+// Auto picks DIA for.
+func banded(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+		if i+1 < n {
+			coo.Add(i, i+1, -1)
+			coo.Add(i+1, i, -1)
+		}
+	}
+	return coo.ToCSR()
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/plan"
 	"repro/internal/precond"
 	"repro/internal/sparse"
 )
@@ -39,11 +40,12 @@ type cacheEntry struct {
 	dia     *sparse.DIA
 	diaErr  error
 
-	// autoBackend memoizes the Auto policy's structure-probe decision:
-	// the matrix is immutable per entry, so the O(nnz) pattern scan runs
-	// once, not once per request.
-	autoOnce    sync.Once
-	autoBackend core.Backend
+	// probeVal memoizes the planner's structure probe: the matrix is
+	// immutable per entry, so the O(nnz) pattern scan runs once, not once
+	// per request — and every re-plan of a warm request decides from the
+	// identical probe (plan stability on cache hits).
+	probeOnce sync.Once
+	probeVal  plan.Probe
 
 	pool sync.Pool // of precond.Preconditioner
 }
@@ -76,14 +78,11 @@ func (e *cacheEntry) build(req *SolveRequest) {
 	e.pool.Put(p)
 }
 
-// resolveBackend resolves a request's backend policy against the entry's
-// matrix. Forced policies pass through; Auto's probe result is memoized.
-func (e *cacheEntry) resolveBackend(policy core.Backend) core.Backend {
-	if policy != core.BackendAuto {
-		return core.ChooseBackend(e.sys.K, policy)
-	}
-	e.autoOnce.Do(func() { e.autoBackend = core.ChooseBackend(e.sys.K, core.BackendAuto) })
-	return e.autoBackend
+// structureProbe returns the entry's memoized matrix structure scan, the
+// planner's input for backend selection and tile sizing.
+func (e *cacheEntry) structureProbe() *plan.Probe {
+	e.probeOnce.Do(func() { e.probeVal = plan.NewProbe(e.sys.K) })
+	return &e.probeVal
 }
 
 // getDIA returns the entry's diagonal-storage form of the system matrix,
@@ -205,6 +204,24 @@ func (c *cache) get(key string) (*cacheEntry, bool) {
 	}
 	c.misses.Add(1)
 	return e, false
+}
+
+// peek returns the entry for key without creating one, touching the LRU
+// order, or counting a hit/miss (read-only callers like request planning
+// must not perturb the cache they are describing). An empty key — an
+// uncacheable request — never matches.
+func (c *cache) peek(key string) (*cacheEntry, bool) {
+	if key == "" {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry), true
 }
 
 // drop removes e from its shard (used when its build fails, so the error

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // maxBodyBytes bounds a /v1/solve body (64 MiB: a ~1M-triplet COO system).
@@ -14,8 +15,10 @@ const maxBodyBytes = 64 << 20
 // transport options.
 type solveHTTPRequest struct {
 	SolveRequest
-	// Async returns 202 + the job ID immediately; poll /v1/jobs/{id}.
-	// The default waits for the solve and returns the finished job.
+	// Async returns 202 + the job ID immediately; poll /v1/jobs/{id} or
+	// stream it with Accept: text/event-stream. The default waits for the
+	// solve and returns the finished job — and cancels the solve if the
+	// client disconnects first (nobody else knows the job ID yet).
 	Async bool `json:"async,omitempty"`
 }
 
@@ -25,13 +28,19 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/solve     submit a solve (async or waiting)
-//	GET  /v1/jobs/{id} job status/result
-//	GET  /v1/stats     queue, cache and latency statistics
+//	POST   /v1/solve     submit a solve (async or waiting)
+//	POST   /v1/plan      resolve a request's execution plan without solving
+//	GET    /v1/jobs/{id} job status/result; with Accept: text/event-stream
+//	                     (or ?watch=1) streams per-case results as they
+//	                     converge, ending with the finished job
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/stats     queue, cache, tiling and latency statistics
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return mux
 }
@@ -42,24 +51,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req solveHTTPRequest
+// decodeBody reads exactly one JSON value into dst, rejecting oversized
+// bodies and trailing garbage. A non-nil return has already written the
+// error response.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(dst); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
-			return
+			return err
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return
+		return err
 	}
 	// A body must be exactly one JSON value: a second Decode must report
 	// EOF, otherwise trailing bytes ({"plate":...}garbage) were silently
 	// ignored and the request is malformed.
 	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: trailing data after JSON value"})
+		return errors.New("trailing data")
+	}
+	return nil
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveHTTPRequest
+	if decodeBody(w, r, &req) != nil {
 		return
 	}
 	job, err := s.Submit(req.SolveRequest)
@@ -82,17 +101,66 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case <-job.Done():
 		writeJSON(w, http.StatusOK, s.viewOf(job))
 	case <-r.Context().Done():
-		// Client went away; the solve continues and stays pollable.
+		// The client is gone and it is the only party that ever learned
+		// this job's ID, so nobody can collect the result: propagate the
+		// disconnect into the solve loop instead of leaking a running job.
+		job.Cancel()
 	}
 }
 
+func (s *Service) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if decodeBody(w, r, &req) != nil {
+		return
+	}
+	info, err := s.PlanRequest(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// wantsStream reports whether the job request asked for per-case streaming:
+// SSE via the Accept header, or chunked JSON lines via ?watch=1.
+func wantsStream(r *http.Request) (stream, sse bool) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		return true, true
+	}
+	if r.URL.Query().Get("watch") == "1" {
+		return true, false
+	}
+	return false, false
+}
+
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	if stream, sse := wantsStream(r); stream {
+		job, ok := s.jobRef(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+			return
+		}
+		s.streamJob(w, r, job, sse)
+		return
+	}
+	v, ok := s.Job(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + r.PathValue("id")})
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobRef(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, s.viewOf(job))
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

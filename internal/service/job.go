@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"sync"
 	"time"
 )
 
@@ -13,6 +15,22 @@ const (
 	JobDone    JobState = "done"
 	JobFailed  JobState = "failed"
 )
+
+// PlanInfo is the resolved execution plan recorded on a job result: the
+// decisions the planner made for this request (see internal/plan). The
+// same request re-planned offline (Service.PlanRequest or POST /v1/plan)
+// yields the same PlanInfo.
+type PlanInfo struct {
+	// Backend is the resolved matvec storage ("csr" or "dia").
+	Backend string `json:"backend"`
+	// Tiles partitions the batch's column indices into the groups executed
+	// as sequential block solves.
+	Tiles [][]int `json:"tiles"`
+	// Workers is the kernel goroutine fan-out each tile ran with.
+	Workers int `json:"workers"`
+	// M is the preconditioner step count.
+	M int `json:"m"`
+}
 
 // JobResult reports a finished solve.
 type JobResult struct {
@@ -29,6 +47,9 @@ type JobResult struct {
 	// Backend is the matvec storage the solve ran on ("csr" or "dia") —
 	// the resolved form of the request's "backend" field.
 	Backend string `json:"backend,omitempty"`
+	// Plan is the execution plan the job ran: backend, batch tiles, kernel
+	// fan-out, and step count, as the planner resolved them.
+	Plan *PlanInfo `json:"plan,omitempty"`
 	// IntervalLo/Hi report the spectral interval used for parametrized
 	// coefficients (0,0 when none was needed).
 	IntervalLo float64 `json:"interval_lo,omitempty"`
@@ -44,9 +65,10 @@ type JobResult struct {
 
 	// RHS is the number of right-hand sides solved; Cases holds the
 	// per-RHS outcomes for batched requests (len(Cases) == RHS when > 1).
-	// For batches the top-level counters describe the shared block solve:
-	// Iterations is the outer block iteration count, MatVecs the SpMM
-	// count (one per iteration), PrecondApps the block sweeps.
+	// For batches the top-level counters describe the shared block solves:
+	// Iterations is the block iteration count summed over the plan's
+	// tiles, MatVecs the SpMM count (one per tile iteration), PrecondApps
+	// the block sweeps.
 	RHS   int          `json:"rhs,omitempty"`
 	Cases []CaseResult `json:"cases,omitempty"`
 }
@@ -70,12 +92,28 @@ type CaseResult struct {
 	NodeV []float64 `json:"node_v,omitempty"`
 }
 
-// Job is the service's record of one solve. All mutable fields are guarded
-// by the owning Service's mutex; callers see immutable JobView snapshots.
+// caseEvent is one streamed per-case completion: case idx converged (or
+// failed) while the rest of the job was still running.
+type caseEvent struct {
+	Case   int         `json:"case"`
+	Result *CaseResult `json:"result"`
+}
+
+// Job is the service's record of one solve. The lifecycle fields are
+// guarded by the owning Service's mutex; the streaming state (per-case
+// table, subscribers) is guarded by the job's own mutex, because case
+// completions arrive from the solve's hot loop and must not contend with
+// every other job's bookkeeping.
 type Job struct {
 	id   string
 	req  SolveRequest
 	done chan struct{}
+
+	// ctx is canceled to abort the solve (client disconnect on a
+	// synchronous request, Service.Cancel, or service shutdown); the solve
+	// loop polls it at iteration boundaries.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	state      JobState
 	cacheHit   bool
@@ -84,6 +122,15 @@ type Job struct {
 	enqueuedAt time.Time
 	startedAt  time.Time
 	finishedAt time.Time
+
+	// Streaming state.
+	smu      sync.Mutex
+	cases    []CaseResult // per-case results, filled as columns converge
+	caseDone []bool
+	nDone    int
+	subs     map[int]chan caseEvent
+	nextSub  int
+	closed   bool // all case events delivered; subscriber channels closed
 }
 
 // JobView is an immutable snapshot of a job, shaped for JSON.
@@ -91,6 +138,11 @@ type JobView struct {
 	ID       string   `json:"id"`
 	State    JobState `json:"state"`
 	CacheHit bool     `json:"cache_hit"`
+	// CasesDone/CasesTotal report streaming progress: how many of the
+	// job's right-hand sides have individually finished (0/0 until the
+	// solve starts).
+	CasesDone  int `json:"cases_done,omitempty"`
+	CasesTotal int `json:"cases_total,omitempty"`
 	// QueuedSeconds is enqueue→start (or →now while queued); RunSeconds is
 	// start→finish (or →now while running).
 	QueuedSeconds float64    `json:"queued_seconds"`
@@ -115,6 +167,9 @@ func (j *Job) view(now time.Time) JobView {
 		v.QueuedSeconds = j.startedAt.Sub(j.enqueuedAt).Seconds()
 		v.RunSeconds = j.finishedAt.Sub(j.startedAt).Seconds()
 	}
+	j.smu.Lock()
+	v.CasesDone, v.CasesTotal = j.nDone, len(j.cases)
+	j.smu.Unlock()
 	return v
 }
 
@@ -124,3 +179,102 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Cancel aborts the job: queued jobs are skipped when dequeued, running
+// solves stop at the next iteration boundary (reported as failed with the
+// context's error). Canceling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// initCases sizes the per-case state table before execution starts.
+func (j *Job) initCases(rhs int) {
+	j.smu.Lock()
+	j.cases = make([]CaseResult, rhs)
+	j.caseDone = make([]bool, rhs)
+	j.smu.Unlock()
+}
+
+// caseFinished records case idx's final result and publishes it to every
+// subscriber. Called from the solve loop (via the deflation hook), so it
+// must not block: subscriber channels are buffered to hold the job's full
+// case count, and anything beyond that (impossible by construction) is
+// dropped rather than stalling the solver.
+func (j *Job) caseFinished(idx int, cr CaseResult) {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	if j.caseDone[idx] {
+		return
+	}
+	j.caseDone[idx] = true
+	j.cases[idx] = cr
+	j.nDone++
+	ev := caseEvent{Case: idx, Result: &j.cases[idx]}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// snapshotCases copies the per-case table into a result (after every tile
+// has executed).
+func (j *Job) snapshotCases() []CaseResult {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	out := make([]CaseResult, len(j.cases))
+	copy(out, j.cases)
+	return out
+}
+
+// subscribe registers a streaming consumer: it returns the already-finished
+// cases as replay events plus a channel carrying every later completion.
+// The channel is closed once the job finishes and all events are delivered;
+// a subscriber joining after that gets the full replay and an
+// already-closed channel.
+func (j *Job) subscribe() (replay []caseEvent, ch <-chan caseEvent, id int) {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	for idx := range j.cases {
+		if j.caseDone[idx] {
+			replay = append(replay, caseEvent{Case: idx, Result: &j.cases[idx]})
+		}
+	}
+	// Buffered to the largest number of events that can still arrive, so
+	// the solver-side publish never blocks. Before the solve starts the
+	// case table is empty, so size by the request's batch width instead.
+	c := make(chan caseEvent, max(j.req.batchSize(), len(j.cases))-len(replay)+1)
+	if j.closed {
+		close(c)
+		return replay, c, -1
+	}
+	if j.subs == nil {
+		j.subs = make(map[int]chan caseEvent)
+	}
+	id = j.nextSub
+	j.nextSub++
+	j.subs[id] = c
+	return replay, c, id
+}
+
+// unsubscribe drops a subscriber (no-op after closeStreams).
+func (j *Job) unsubscribe(id int) {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	if ch, ok := j.subs[id]; ok {
+		delete(j.subs, id)
+		close(ch)
+	}
+}
+
+// closeStreams ends every subscription; stream handlers then emit their
+// terminal event from the finished job view. Called exactly once, at job
+// completion.
+func (j *Job) closeStreams() {
+	j.smu.Lock()
+	defer j.smu.Unlock()
+	j.closed = true
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/plan"
 	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/vec"
@@ -32,6 +33,10 @@ type Config struct {
 	// SpMV/dot/axpy kernels. The default divides GOMAXPROCS by Workers
 	// (min 1), so Workers × WorkerBudget never oversubscribes the machine.
 	WorkerBudget int
+	// TileBudgetBytes bounds the multivector working set of one batch
+	// tile: the planner splits wide batches (s ≫ 8) into cache-sized
+	// column tiles executed sequentially (0 = plan.DefaultBudgetBytes).
+	TileBudgetBytes int
 	// QueueDepth bounds the job queue (default 256); submissions beyond it
 	// fail fast with ErrQueueFull.
 	QueueDepth int
@@ -67,25 +72,32 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Service runs solves on a bounded worker pool with a problem cache.
+// Service runs solves on a bounded worker pool with a problem cache. Every
+// job follows the plan → execute → emit pipeline: the planner (one shared
+// instance of plan.Planner) resolves the request into an execution plan,
+// the worker runs the plan's tiles, and per-case completions are emitted to
+// the job's state table and stream subscribers as they happen.
 type Service struct {
-	cfg   Config
-	queue chan *Job
-	cache *cache
-	lat   *latencyRing
+	cfg     Config
+	planner plan.Planner
+	queue   chan *Job
+	cache   *cache
+	lat     *latencyRing
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	finished []string // finished job IDs in completion order, for eviction
 	closed   bool
 
-	nextID     atomic.Int64
-	running    atomic.Int64
-	jobsDone   atomic.Int64
-	jobsFailed atomic.Int64
-	totalIters atomic.Int64
-	solvesCSR  atomic.Int64
-	solvesDIA  atomic.Int64
+	nextID        atomic.Int64
+	running       atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	totalIters    atomic.Int64
+	solvesCSR     atomic.Int64
+	solvesDIA     atomic.Int64
+	tilesExecuted atomic.Int64
+	streamSubs    atomic.Int64 // current streaming subscribers (gauge)
 
 	started time.Time
 	wg      sync.WaitGroup
@@ -97,6 +109,7 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:     cfg,
+		planner: plan.Planner{BudgetBytes: cfg.TileBudgetBytes},
 		queue:   make(chan *Job, cfg.QueueDepth),
 		cache:   newCache(cfg.CacheSize),
 		lat:     newLatencyRing(cfg.LatencyWindow),
@@ -117,15 +130,19 @@ func (s *Service) Submit(req SolveRequest) (*Job, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		req:        req,
 		done:       make(chan struct{}),
+		ctx:        ctx,
+		cancel:     cancel,
 		state:      JobQueued,
 		enqueuedAt: time.Now(),
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		cancel()
 		return nil, ErrClosed
 	}
 	job.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
@@ -136,6 +153,7 @@ func (s *Service) Submit(req SolveRequest) (*Job, error) {
 		return job, nil
 	default:
 		s.mu.Unlock()
+		cancel()
 		return nil, ErrQueueFull
 	}
 }
@@ -161,6 +179,69 @@ func (s *Service) Solve(ctx context.Context, req SolveRequest) (JobView, error) 
 	}
 }
 
+// Cancel aborts a job by ID: a queued job is skipped when dequeued, a
+// running solve stops at its next iteration boundary and the job finishes
+// as failed with the cancellation error. Reports whether the ID was known.
+func (s *Service) Cancel(id string) bool {
+	job, ok := s.jobRef(id)
+	if !ok {
+		return false
+	}
+	job.Cancel()
+	return true
+}
+
+// PlanRequest resolves the execution plan the service would run req with —
+// backend, batch tiles, kernel fan-out, step count — without solving
+// anything. When the request's problem is already cached its memoized
+// structure probe answers immediately; otherwise the system is assembled
+// just for the probe (never inserted into the cache, and no preconditioner
+// or spectral interval is built — planning must stay far cheaper than
+// solving). Either way a later solve of the same request reports an
+// identical JobResult.Plan.
+func (s *Service) PlanRequest(req SolveRequest) (PlanInfo, error) {
+	if err := req.Validate(); err != nil {
+		return PlanInfo{}, err
+	}
+	policy, err := req.Solver.backend()
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	var probe *plan.Probe
+	if entry, ok := s.cache.peek(req.cacheKey()); ok {
+		entry.once.Do(func() { entry.build(&req) })
+		if entry.err == nil {
+			probe = entry.structureProbe()
+		}
+	}
+	if probe == nil {
+		sys, _, err := req.assemble()
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		p := plan.NewProbe(sys.K)
+		probe = &p
+	}
+	pl := s.planner.Plan(plan.Inputs{
+		Probe:   probe,
+		Policy:  policy,
+		RHS:     req.batchSize(),
+		M:       req.Solver.M,
+		Workers: s.cfg.WorkerBudget,
+	})
+	return planInfo(pl), nil
+}
+
+// planInfo shapes a resolved plan for job results and the HTTP API.
+func planInfo(pl plan.Plan) PlanInfo {
+	return PlanInfo{
+		Backend: pl.Backend.String(),
+		Tiles:   pl.Tiles,
+		Workers: pl.Workers,
+		M:       pl.M,
+	}
+}
+
 // viewOf snapshots a job the caller already holds — unlike Job(id) it
 // cannot miss, even if the job has aged out of the lookup history.
 func (s *Service) viewOf(job *Job) JobView {
@@ -180,31 +261,59 @@ func (s *Service) Job(id string) (JobView, bool) {
 	return j.view(time.Now()), true
 }
 
+// jobRef returns the live job record (for streaming subscriptions and
+// cancellation).
+func (s *Service) jobRef(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
 // Stats snapshots the service health counters.
 func (s *Service) Stats() Stats {
 	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
 	st := Stats{
-		Workers:         s.cfg.Workers,
-		WorkerBudget:    s.cfg.WorkerBudget,
-		QueueDepth:      len(s.queue),
-		QueueCap:        s.cfg.QueueDepth,
-		Running:         int(s.running.Load()),
-		JobsDone:        s.jobsDone.Load(),
-		JobsFailed:      s.jobsFailed.Load(),
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEntries:    s.cache.len(),
-		TotalIterations: s.totalIters.Load(),
-		SolvesCSR:       s.solvesCSR.Load(),
-		SolvesDIA:       s.solvesDIA.Load(),
-		LatencyP50:      s.lat.quantile(0.50),
-		LatencyP99:      s.lat.quantile(0.99),
-		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Workers:           s.cfg.Workers,
+		WorkerBudget:      s.cfg.WorkerBudget,
+		QueueDepth:        len(s.queue),
+		QueueCap:          s.cfg.QueueDepth,
+		Running:           int(s.running.Load()),
+		JobsDone:          s.jobsDone.Load(),
+		JobsFailed:        s.jobsFailed.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      s.cache.len(),
+		TotalIterations:   s.totalIters.Load(),
+		SolvesCSR:         s.solvesCSR.Load(),
+		SolvesDIA:         s.solvesDIA.Load(),
+		TilesExecuted:     s.tilesExecuted.Load(),
+		StreamSubscribers: s.streamSubs.Load(),
+		LatencyP50:        s.lat.quantile(0.50),
+		LatencyP99:        s.lat.quantile(0.99),
+		UptimeSeconds:     time.Since(s.started).Seconds(),
 	}
 	if total := hits + misses; total > 0 {
 		st.CacheHitRate = float64(hits) / float64(total)
 	}
 	return st
+}
+
+// Abort cancels every unfinished job — queued jobs are skipped when
+// dequeued, running solves stop at their next iteration boundary. It is
+// the hard-stop lever for daemons whose drain deadline expired: call it
+// before Close so Close's queue drain terminates promptly instead of
+// fully solving everything still queued. Finished jobs are unaffected.
+func (s *Service) Abort() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
 }
 
 // Close stops accepting jobs, drains the queue, and waits for in-flight
@@ -230,6 +339,12 @@ func (s *Service) worker() {
 	ws := cg.NewWorkspace(0)
 	bws := cg.NewBlockWorkspace(0, 0)
 	for job := range s.queue {
+		if cerr := job.ctx.Err(); cerr != nil {
+			// Canceled while queued: skip execution entirely.
+			s.transition(job, JobRunning, nil, nil)
+			s.transition(job, JobFailed, nil, fmt.Errorf("service: job canceled while queued: %w", cerr))
+			continue
+		}
 		s.runJob(job, ws, bws)
 	}
 }
@@ -259,16 +374,21 @@ func (s *Service) transition(job *Job, state JobState, result *JobResult, err er
 			s.jobsFailed.Add(1)
 		}
 		s.lat.add(now.Sub(job.enqueuedAt).Seconds())
+		job.cancel() // release the context's resources
 		close(job.done)
+		// End subscriptions last: by now the final result is published, so
+		// stream handlers wake to a complete job view.
+		job.closeStreams()
 	}
 }
 
-// runJob resolves the problem (via the cache when the request is keyed),
-// checks out a preconditioner, and solves into fresh solution vector(s)
-// using the worker's scratch workspaces. A batched request (multiple
-// right-hand sides) runs as one job against one cache entry and one
-// preconditioner checkout: the block solve shares every matrix traversal
-// across the batch and reports per-RHS results.
+// runJob is the plan → execute → emit pipeline for one job: resolve the
+// problem (via the cache when the request is keyed), check out a
+// preconditioner, let the planner turn the request's shape into an
+// execution plan, then run the plan's tiles, emitting each case's result
+// the moment its column retires. A batched request runs as one job against
+// one cache entry and one preconditioner checkout; every block traversal
+// is shared across the tile's columns.
 func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
@@ -325,24 +445,40 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		name = pc.Name()
 	}
 
-	// Resolve the matvec backend against the assembled matrix: the policy
-	// comes from the request ("auto" probes the structure). On the cached
-	// path both the probe decision and the DIA conversion live in the
-	// entry, so repeated solves of a cached problem neither rescan nor
-	// re-convert.
+	fs, ferr := job.req.rhsCols(sys)
+	if ferr != nil {
+		s.transition(job, JobFailed, nil, ferr)
+		return
+	}
+
+	// Plan: the planner is the single place the request's shape — matrix
+	// structure, batch width, budgets — becomes an execution decision. On
+	// the cached path the structure probe is memoized in the entry, so
+	// repeated solves of a cached problem never rescan the pattern.
 	policy, err := job.req.Solver.backend()
 	if err != nil {
 		s.transition(job, JobFailed, nil, err)
 		return
 	}
-	var backend core.Backend
+	var probe *plan.Probe
 	if entry != nil {
-		backend = entry.resolveBackend(policy)
+		probe = entry.structureProbe()
 	} else {
-		backend = core.ChooseBackend(sys.K, policy)
+		p := plan.NewProbe(sys.K)
+		probe = &p
 	}
+	pl := s.planner.Plan(plan.Inputs{
+		Probe:   probe,
+		Policy:  policy,
+		RHS:     len(fs),
+		M:       job.req.Solver.M,
+		Workers: s.cfg.WorkerBudget,
+	})
+
+	// Materialize the planned backend's operator (the DIA conversion is
+	// cached next to the CSR on the cached path).
 	var op sparse.Operator = sys.K
-	if backend == core.BackendDIA {
+	if pl.Backend == core.BackendDIA {
 		var dia *sparse.DIA
 		var derr error
 		if entry != nil {
@@ -355,6 +491,9 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 			return
 		}
 		op = dia
+		s.solvesDIA.Add(1)
+	} else {
+		s.solvesCSR.Add(1)
 	}
 
 	spec := job.req.Solver
@@ -362,30 +501,25 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		Tol:            spec.Tol,
 		RelResidualTol: spec.RelResidualTol,
 		MaxIter:        spec.MaxIter,
-		Workers:        s.cfg.WorkerBudget,
+		Workers:        pl.Workers,
+		Ctx:            job.ctx,
 	}
 	if opts.Tol <= 0 && opts.RelResidualTol <= 0 {
 		opts.Tol = 1e-6
 	}
-	fs, ferr := job.req.rhsCols(sys)
-	if ferr != nil {
-		s.transition(job, JobFailed, nil, ferr)
-		return
-	}
 
-	if backend == core.BackendDIA {
-		s.solvesDIA.Add(1)
-	} else {
-		s.solvesCSR.Add(1)
-	}
+	// Execute + emit.
+	job.initCases(len(fs))
 	var res *JobResult
-	if job.req.batchSize() > 1 {
-		res, err = s.runBlock(job, op, plate, pc, fs, opts, bws)
+	if len(fs) > 1 {
+		res, err = s.runTiles(job, op, plate, pc, fs, pl, opts, bws)
 	} else {
 		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws)
 	}
 	res.Precond = name
-	res.Backend = backend.String()
+	res.Backend = pl.Backend.String()
+	info := planInfo(pl)
+	res.Plan = &info
 	res.IntervalLo, res.IntervalHi = iv.Lo, iv.Hi
 	if err != nil {
 		s.transition(job, JobFailed, res, err)
@@ -394,13 +528,14 @@ func (s *Service) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 	s.transition(job, JobDone, res, nil)
 }
 
-// runScalar is the single-RHS solve path. op is the backend-resolved form
-// of the system matrix.
+// runScalar is the single-RHS solve path (a one-column plan: one tile, one
+// case event). op is the backend-resolved form of the system matrix.
 func (s *Service) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace) (*JobResult, error) {
 	n, _ := op.Dims()
 	u := make([]float64, n)
 	st, err := cg.SolveInto(u, op, f, pc, opts, ws)
 	s.totalIters.Add(int64(st.Iterations))
+	s.tilesExecuted.Add(1)
 
 	res := &JobResult{
 		Converged:     st.Converged,
@@ -416,45 +551,91 @@ func (s *Service) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc p
 		res.U = u
 		res.Nodes, res.NodeU, res.NodeV = plateDisplacements(plate, u)
 	}
+	cr := CaseResult{
+		Converged:   st.Converged,
+		Iterations:  st.Iterations,
+		FinalUDiff:  st.FinalUDiff,
+		FinalRelRes: st.FinalRelRes,
+		U:           res.U,
+		Nodes:       res.Nodes,
+		NodeU:       res.NodeU,
+		NodeV:       res.NodeV,
+	}
+	if err != nil {
+		cr.Error = err.Error()
+	}
+	job.caseFinished(0, cr)
 	return res, err
 }
 
-// runBlock is the batched solve path: one block CG run for all right-hand
-// sides, per-RHS results split out afterwards. op is the backend-resolved
-// form of the system matrix.
-func (s *Service) runBlock(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
+// runTiles is the batched solve path: the plan's column tiles execute as
+// sequential block solves sharing one workspace, and every column
+// retirement — converged, broken down, or canceled — emits that case's
+// result immediately via the deflation hook, so early-converging load
+// cases are visible to stream subscribers while the slowest column is
+// still iterating. op is the backend-resolved form of the system matrix.
+func (s *Service) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, pl plan.Plan, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
 	n, _ := op.Dims()
-	u := vec.NewMulti(n, len(fs))
-	st, err := cg.SolveBlockInto(u, op, vec.MultiFromCols(fs), pc, opts, bws)
-	s.totalIters.Add(int64(st.Iterations))
-
-	res := &JobResult{
-		Converged:     st.Converged,
-		Iterations:    st.Iterations,
-		MatVecs:       st.SpMMs,
-		PrecondApps:   st.BlockPrecondApps,
-		InnerProducts: st.InnerProducts,
-		RHS:           st.RHS,
-		Cases:         make([]CaseResult, st.RHS),
-	}
-	for j := range res.Cases {
-		c := &res.Cases[j]
-		cs := st.Cols[j]
-		c.Converged = cs.Converged
-		c.Iterations = cs.Iterations
-		c.FinalUDiff = cs.FinalUDiff
-		c.FinalRelRes = cs.FinalRelRes
-		if st.ColErrs[j] != nil {
-			c.Error = st.ColErrs[j].Error()
+	res := &JobResult{RHS: len(fs), Converged: true}
+	var errs []error
+	var canceled error
+	for ti, tileCols := range pl.Tiles {
+		if cerr := job.ctx.Err(); cerr != nil {
+			// Canceled between tiles: the remaining cases fail without
+			// running (their events still fire, so streams see every case);
+			// the cancellation joins the job error once, not once per tile.
+			for _, c := range tileCols {
+				job.caseFinished(c, CaseResult{Error: cerr.Error()})
+			}
+			res.Converged = false
+			canceled = cerr
+			continue
 		}
-		res.FinalUDiff = max(res.FinalUDiff, cs.FinalUDiff)
-		res.FinalRelRes = max(res.FinalRelRes, cs.FinalRelRes)
-		if !job.req.OmitSolution {
-			c.U = append([]float64(nil), u.Col(j)...)
-			c.Nodes, c.NodeU, c.NodeV = plateDisplacements(plate, c.U)
+		cols := make([][]float64, len(tileCols))
+		for i, c := range tileCols {
+			cols[i] = fs[c]
+		}
+		u := vec.NewMulti(n, len(tileCols))
+		topts := opts
+		topts.OnColumnDone = func(col int, cs cg.ColumnStats) {
+			cr := CaseResult{
+				Converged:   cs.Stats.Converged,
+				Iterations:  cs.Stats.Iterations,
+				FinalUDiff:  cs.Stats.FinalUDiff,
+				FinalRelRes: cs.Stats.FinalRelRes,
+			}
+			if cs.Err != nil {
+				cr.Error = cs.Err.Error()
+			}
+			if !job.req.OmitSolution {
+				cr.U = append([]float64(nil), u.Col(col)...)
+				cr.Nodes, cr.NodeU, cr.NodeV = plateDisplacements(plate, cr.U)
+			}
+			job.caseFinished(tileCols[col], cr)
+		}
+		st, err := cg.SolveBlockInto(u, op, vec.MultiFromCols(cols), pc, topts, bws)
+		s.totalIters.Add(int64(st.Iterations))
+		s.tilesExecuted.Add(1)
+		res.Iterations += st.Iterations
+		res.MatVecs += st.SpMMs
+		res.PrecondApps += st.BlockPrecondApps
+		res.InnerProducts += st.InnerProducts
+		if !st.Converged {
+			res.Converged = false
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("tile %d (cases %d–%d): %w", ti, tileCols[0], tileCols[len(tileCols)-1], err))
 		}
 	}
-	return res, err
+	if canceled != nil {
+		errs = append(errs, canceled)
+	}
+	res.Cases = job.snapshotCases()
+	for i := range res.Cases {
+		res.FinalUDiff = max(res.FinalUDiff, res.Cases[i].FinalUDiff)
+		res.FinalRelRes = max(res.FinalRelRes, res.Cases[i].FinalRelRes)
+	}
+	return res, errors.Join(errs...)
 }
 
 // plateDisplacements maps a colored-ordering solution back to per-node

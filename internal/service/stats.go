@@ -79,6 +79,14 @@ type Stats struct {
 	SolvesCSR int64 `json:"solves_csr"`
 	SolvesDIA int64 `json:"solves_dia"`
 
+	// TilesExecuted counts executed plan tiles (a scalar solve is one
+	// tile; a batched job contributes one per planned column tile) — the
+	// operational view of the batch-tiling policy.
+	TilesExecuted int64 `json:"tiles_executed"`
+	// StreamSubscribers is the current number of per-case result streams
+	// (SSE or ?watch=1) attached to jobs.
+	StreamSubscribers int64 `json:"stream_subscribers"`
+
 	// LatencyP50/P99 are solve latencies (enqueue→finish) in seconds over
 	// the recent-job window.
 	LatencyP50 float64 `json:"latency_p50_seconds"`

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// streamJob streams job's per-case results to one HTTP client as the
+// columns converge, then emits a terminal event carrying the finished job
+// view. Two wire formats share the mechanics:
+//
+//   - SSE (Accept: text/event-stream): "event: case" frames carrying
+//     {"case":i,"result":{...}}, closed by one "event: done" frame with
+//     the JobView.
+//   - chunked JSON lines (?watch=1): one {"case":i,"result":{...}} object
+//     per line, closed by {"done":{JobView}}.
+//
+// A subscriber joining late replays the already-finished cases first, so
+// the stream always delivers every case exactly once regardless of when
+// the client attached. A disconnected client just detaches (an async job
+// may have other watchers or pollers); the synchronous solve handler and
+// DELETE /v1/jobs/{id} are the cancellation paths.
+func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, job *Job, sse bool) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "streaming unsupported by this connection"})
+		return
+	}
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	replay, ch, id := job.subscribe()
+	if id >= 0 {
+		defer job.unsubscribe(id)
+	}
+	s.streamSubs.Add(1)
+	defer s.streamSubs.Add(-1)
+
+	emitCase := func(ev caseEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: case\ndata: %s\n\n", data)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", data)
+		}
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	emitDone := func(v JobView) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		if sse {
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+		} else {
+			fmt.Fprintf(w, "{\"done\":%s}\n", data)
+		}
+		flusher.Flush()
+	}
+
+	for _, ev := range replay {
+		if !emitCase(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// The job finished and every case event has been
+				// delivered; close with the final view.
+				emitDone(s.viewOf(job))
+				return
+			}
+			if !emitCase(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -90,9 +90,9 @@ func (a *CSR) DiagStats() (numDiags, bandwidth int) {
 // conversion's stored slots that would hold actual nonzeros. 1 means every
 // stored diagonal is full (the ideal vector-triad regime); small values
 // mean diagonal storage would mostly stream padding zeros. This is the
-// quantity core.ChooseBackend thresholds when resolving the Auto backend
-// (computed there from its own DiagStats scan, not by calling this
-// helper); the helper itself serves reports and benchmarks.
+// quantity plan.Probe thresholds when resolving the Auto backend (stored
+// on the probe from its own DiagStats scan, not by calling this helper);
+// the helper itself serves reports and benchmarks.
 func (a *CSR) DIAFillRatio() float64 {
 	nd, _ := a.DiagStats()
 	if nd == 0 {

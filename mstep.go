@@ -234,8 +234,16 @@ type (
 	SolverSpec = service.SolverSpec
 	// JobView is an immutable snapshot of a submitted job.
 	JobView = service.JobView
+	// JobResult reports a finished solve, including the resolved
+	// execution plan and per-case outcomes for batches.
+	JobResult = service.JobResult
+	// CaseResult reports one right-hand side of a batched solve.
+	CaseResult = service.CaseResult
+	// PlanInfo is the execution plan the planner resolved for a request:
+	// matvec backend, batch column tiles, kernel fan-out, step count.
+	PlanInfo = service.PlanInfo
 	// ServiceStats is the service health report (queue depth, cache hit
-	// rate, latency percentiles).
+	// rate, latency percentiles, tiles executed, stream subscribers).
 	ServiceStats = service.Stats
 )
 
