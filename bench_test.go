@@ -614,3 +614,60 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLocalSolverThroughput is the in-process counterpart of
+// BenchmarkServiceThroughput: the same warm-cache serving loop through
+// repro.NewLocal — no HTTP, no daemon — proving embedders reach the same
+// amortized throughput (assembly, structure probe and interval estimation
+// all paid once, outside the timed loop).
+func BenchmarkLocalSolverThroughput(b *testing.B) {
+	problem, err := repro.NewPlateProblem(20, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := repro.Request{
+		Problem:      problem,
+		Solver:       repro.SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-6},
+		OmitSolution: true,
+	}
+	concurrencies := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		concurrencies = append(concurrencies, g)
+	}
+	for _, jobs := range concurrencies {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			l := repro.NewLocal(repro.LocalConfig{Workers: jobs, QueueDepth: 4 * jobs})
+			defer l.Close()
+			// Populate the session cache so the benchmark measures served
+			// solves, not one-time setup.
+			if _, err := l.Solve(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+			if st, _ := l.Stats(); st.CacheMisses != 1 {
+				b.Fatalf("expected one cold miss, got %d", st.CacheMisses)
+			}
+			start := time.Now()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < jobs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if _, err := l.Solve(context.Background(), req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if st, _ := l.Stats(); st.CacheMisses != 1 {
+				b.Fatalf("timed loop missed the cache %d times", st.CacheMisses-1)
+			}
+			total := float64(jobs) * float64(b.N)
+			b.ReportMetric(total/time.Since(start).Seconds(), "solves/s")
+		})
+	}
+}

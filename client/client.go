@@ -1,0 +1,325 @@
+// Package client is the Go SDK for a running solverd: an HTTP
+// implementation of the repro.Solver contract speaking the daemon's /v1
+// API end to end — synchronous solves, asynchronous submission with SSE
+// streaming of per-case results, offline execution planning, job
+// cancellation via context, and operational statistics.
+//
+// A Client and a repro.NewLocal session are behaviorally interchangeable:
+// the daemon runs the same engine the local solver embeds, so one Request
+// produces the same JobResult through either (modulo timing and the
+// in-process-only CGStats detail).
+//
+//	cl := client.New("http://solverd:8080")
+//	res, err := cl.Solve(ctx, repro.Request{
+//	    Plate:  &repro.PlateSpec{Rows: 100, Cols: 100},
+//	    Solver: repro.SolverSpec{M: 3, Coeffs: "least-squares"},
+//	})
+//
+// Prebuilt *Problem requests are serialized back to the declarative spec
+// that reconstructs them (see repro.Request.Wire); the setup amortization
+// then happens server-side in the daemon's cache.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// Client drives a remote solver service over its /v1 HTTP API. It
+// implements repro.Solver. A zero Client is not usable; construct with
+// New. Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ repro.Solver = (*Client)(nil)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (pooling, TLS, tracing). The
+// client must not enforce an overall request timeout — streams and long
+// solves are expected to outlive any fixed deadline; bound individual
+// calls with contexts instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the solver daemon at baseURL (e.g.
+// "http://localhost:8080"). The URL is not dialed until the first call.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// apiError is a non-2xx response, carrying the service's error message
+// verbatim (which matches the error text the local solver returns for the
+// same failure).
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// StatusCode returns the HTTP status of an error returned by this package,
+// or 0 when the error is not an API response.
+func StatusCode(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return 0
+}
+
+// asyncRequest is the POST /v1/solve body for asynchronous submission.
+type asyncRequest struct {
+	repro.Request
+	Async bool `json:"async"`
+}
+
+// postJSON POSTs body and decodes a 2xx JSON response into out; non-2xx
+// responses come back as *apiError.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	if resp.StatusCode/100 != 2 {
+		return responseError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+func responseError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return &apiError{status: resp.StatusCode, msg: e.Error}
+	}
+	return &apiError{status: resp.StatusCode, msg: fmt.Sprintf("client: server returned status %d", resp.StatusCode)}
+}
+
+// Solve implements repro.Solver: it runs req synchronously on the daemon.
+// Canceling ctx severs the request, which makes the daemon cancel the
+// job (the synchronous submitter is its only holder). A job-level failure
+// is returned as a non-nil error alongside any partial result.
+func (c *Client) Solve(ctx context.Context, req repro.Request) (repro.JobResult, error) {
+	wire, err := req.Wire()
+	if err != nil {
+		return repro.JobResult{}, err
+	}
+	var v repro.JobView
+	if err := c.postJSON(ctx, "/v1/solve", wire, &v); err != nil {
+		return repro.JobResult{}, err
+	}
+	var res repro.JobResult
+	if v.Result != nil {
+		res = *v.Result
+	}
+	if v.State == repro.JobFailed {
+		return res, errors.New(v.Error)
+	}
+	return res, nil
+}
+
+// Plan implements repro.Solver via POST /v1/plan: the execution plan the
+// daemon would run req with, without solving.
+func (c *Client) Plan(ctx context.Context, req repro.Request) (repro.PlanInfo, error) {
+	wire, err := req.Wire()
+	if err != nil {
+		return repro.PlanInfo{}, err
+	}
+	var info repro.PlanInfo
+	if err := c.postJSON(ctx, "/v1/plan", wire, &info); err != nil {
+		return repro.PlanInfo{}, err
+	}
+	return info, nil
+}
+
+// Stats implements repro.Solver via GET /v1/stats.
+func (c *Client) Stats() (repro.ServiceStats, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return repro.ServiceStats{}, err
+	}
+	defer resp.Body.Close()
+	var st repro.ServiceStats
+	if err := decodeResponse(resp, &st); err != nil {
+		return repro.ServiceStats{}, err
+	}
+	return st, nil
+}
+
+// Cancel aborts a job by ID (DELETE /v1/jobs/{id}); callers normally
+// cancel through SolveStream's context instead.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, nil)
+}
+
+// Close implements repro.Solver. The daemon owns the session state; Close
+// only releases the client's idle connections.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// SolveStream implements repro.Solver: it submits req asynchronously,
+// attaches to the job's SSE stream, and invokes on for every per-case
+// completion as it converges, then once more with the terminal Done event.
+// Canceling ctx cancels the remote job (DELETE /v1/jobs/{id}) and returns
+// ctx.Err().
+func (c *Client) SolveStream(ctx context.Context, req repro.Request, on func(repro.CaseEvent)) error {
+	wire, err := req.Wire()
+	if err != nil {
+		return err
+	}
+	var accepted repro.JobView
+	if err := c.postJSON(ctx, "/v1/solve", asyncRequest{Request: wire, Async: true}, &accepted); err != nil {
+		return err
+	}
+	if accepted.ID == "" {
+		return errors.New("client: async submission returned no job id")
+	}
+
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+accepted.ID, nil)
+	if err != nil {
+		c.cancelDetached(accepted.ID)
+		return err
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		c.cancelDetached(accepted.ID)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		err := responseError(resp)
+		c.cancelDetached(accepted.ID)
+		return err
+	}
+
+	done, err := readStream(resp.Body, on)
+	if err != nil {
+		// A severed stream: distinguish caller cancellation (cancel the
+		// abandoned remote job) from a transport failure (the job may have
+		// other watchers; leave it to finish).
+		if ctx.Err() != nil {
+			c.cancelDetached(accepted.ID)
+			return ctx.Err()
+		}
+		return err
+	}
+	if done.State == repro.JobFailed {
+		return errors.New(done.Error)
+	}
+	return nil
+}
+
+// cancelDetached cancels a job the caller has abandoned, on a fresh
+// short-lived context (the caller's is typically already canceled).
+func (c *Client) cancelDetached(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c.Cancel(ctx, id) //nolint:errcheck // best-effort: the job may already be done
+}
+
+// readStream consumes an SSE body, invoking on per case event and once
+// with the terminal Done event, whose JobView it returns. Lines are read
+// with an unbounded reader: a data frame carrying a large solution vector
+// can run to many megabytes, far past any fixed scanner token limit.
+func readStream(body io.Reader, on func(repro.CaseEvent)) (repro.JobView, error) {
+	var (
+		event string
+		data  []byte
+	)
+	r := bufio.NewReader(body)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && line == "" {
+				return repro.JobView{}, errors.New("client: stream ended without a done event")
+			}
+			if err != io.EOF {
+				return repro.JobView{}, err
+			}
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append([]byte(nil), strings.TrimPrefix(line, "data: ")...)
+		case line == "" && event != "":
+			switch event {
+			case "case":
+				var ev repro.CaseEvent
+				if err := json.Unmarshal(data, &ev); err != nil {
+					return repro.JobView{}, fmt.Errorf("client: bad case event: %w", err)
+				}
+				on(ev)
+			case "done":
+				var v repro.JobView
+				if err := json.Unmarshal(data, &v); err != nil {
+					return repro.JobView{}, fmt.Errorf("client: bad done event: %w", err)
+				}
+				on(repro.CaseEvent{Case: -1, Done: &v})
+				return v, nil
+			}
+			event, data = "", nil
+		}
+	}
+}

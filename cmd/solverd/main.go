@@ -31,6 +31,10 @@
 // in-flight requests — including long-lived result streams — get the drain
 // deadline to finish; past it, streaming connections are severed and the
 // service shuts down hard so the process never wedges on a stuck client.
+//
+// The repro/client package is the Go SDK for this API (an implementation
+// of the repro.Solver contract); repro.NewLocal embeds the same solver
+// engine in process for callers that don't want a daemon at all.
 package main
 
 import (

@@ -23,6 +23,10 @@
 //	})
 //	fmt.Println(res.Stats.Iterations, "iterations")
 //
-// See the examples/ directory, DESIGN.md and EXPERIMENTS.md for the full
-// experiment index.
+// Beyond one-shot solves, the Solver interface is a session that
+// amortizes setup across requests and streams per-case results: NewLocal
+// embeds the solver engine in process, and the client package drives a
+// remote solverd daemon through the identical contract. See README.md and
+// the examples/ directory (examples/quickstart, examples/embed,
+// examples/batch, examples/stream, examples/service) for the full tour.
 package repro

@@ -1,4 +1,4 @@
-package service
+package engine
 
 import (
 	"container/list"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/eigen"
 	"repro/internal/fem"
 	"repro/internal/plan"
+	"repro/internal/poly"
 	"repro/internal/precond"
 	"repro/internal/sparse"
 )
@@ -31,6 +32,7 @@ type cacheEntry struct {
 	// method.
 	cfg      core.Config
 	interval eigen.Interval
+	alphas   poly.Alphas
 	precond  string // display name
 
 	// dia is the diagonal-storage conversion of sys.K, built at most once
@@ -53,28 +55,33 @@ type cacheEntry struct {
 // build does the expensive setup exactly once per entry: plate assembly (or
 // general-system conversion), splitting construction, interval estimation,
 // and the first preconditioner.
-func (e *cacheEntry) build(req *SolveRequest) {
+func (e *cacheEntry) build(req *Request) {
 	sys, plate, err := req.assemble()
 	if err != nil {
 		e.err = err
 		return
 	}
-	cfg, err := req.Solver.config(req.Plate != nil)
+	cfg, err := req.coreConfig()
 	if err != nil {
 		e.err = err
 		return
 	}
-	p, _, iv, err := core.BuildPreconditioner(sys, cfg)
+	p, alphas, iv, err := core.BuildPreconditioner(sys, cfg)
 	if err != nil {
 		e.err = err
 		return
 	}
-	e.sys, e.plate, e.interval, e.precond = sys, plate, iv, p.Name()
+	e.sys, e.plate, e.interval, e.alphas, e.precond = sys, plate, iv, alphas, p.Name()
 	if iv != (eigen.Interval{}) {
 		// Pin the estimate: later preconditioner builds reuse it.
 		cfg.Interval = &e.interval
 	}
 	e.cfg = cfg
+	if pb := req.Prebuilt; pb != nil && pb.Probe != nil {
+		// Seed the structure-probe memo from the caller's own memo: a
+		// prebuilt problem's pattern is never rescanned, not even once.
+		e.probeOnce.Do(func() { e.probeVal = *pb.Probe })
+	}
 	e.pool.Put(p)
 }
 

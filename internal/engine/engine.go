@@ -1,0 +1,712 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cg"
+	"repro/internal/core"
+	"repro/internal/eigen"
+	"repro/internal/fem"
+	"repro/internal/plan"
+	"repro/internal/poly"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// ErrQueueFull reports a bounded-queue rejection; HTTP maps it to 503.
+var ErrQueueFull = errors.New("engine: job queue full")
+
+// ErrClosed reports submission to a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Config sizes the engine. Zero values pick sensible defaults.
+type Config struct {
+	// Workers is the number of concurrent solves (default GOMAXPROCS).
+	Workers int
+	// WorkerBudget is the goroutine fan-out each solve may use for its
+	// SpMV/dot/axpy kernels. The default divides GOMAXPROCS by Workers
+	// (min 1), so Workers × WorkerBudget never oversubscribes the machine.
+	WorkerBudget int
+	// TileBudgetBytes bounds the multivector working set of one batch
+	// tile: the planner splits wide batches (s ≫ 8) into cache-sized
+	// column tiles executed sequentially (0 = plan.DefaultBudgetBytes).
+	TileBudgetBytes int
+	// QueueDepth bounds the job queue (default 256); submissions beyond it
+	// fail fast with ErrQueueFull.
+	QueueDepth int
+	// CacheSize bounds the problem/preconditioner cache entries
+	// (default 64).
+	CacheSize int
+	// HistoryLimit bounds retained finished jobs (default 512); older
+	// finished jobs are forgotten and their IDs return 404.
+	HistoryLimit int
+	// LatencyWindow sizes the latency sample for p50/p99 (default 1024).
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = max(1, runtime.GOMAXPROCS(0)/c.Workers)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 512
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// Engine runs solves on a bounded worker pool with a problem cache. Every
+// job follows the plan → execute → emit pipeline: the planner (one shared
+// instance of plan.Planner) resolves the request into an execution plan,
+// the worker runs the plan's tiles, and per-case completions are emitted to
+// the job's state table and stream subscribers as they happen.
+type Engine struct {
+	cfg     Config
+	planner plan.Planner
+	queue   chan *Job
+	cache   *cache
+	lat     *latencyRing
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // finished job IDs in completion order, for eviction
+	closed   bool
+
+	nextID        atomic.Int64
+	running       atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	totalIters    atomic.Int64
+	solvesCSR     atomic.Int64
+	solvesDIA     atomic.Int64
+	tilesExecuted atomic.Int64
+	streamSubs    atomic.Int64 // current streaming subscribers (gauge)
+
+	started time.Time
+	wg      sync.WaitGroup
+}
+
+// New starts an engine with cfg's worker pool. Call Close to drain and stop
+// it.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	s := &Engine{
+		cfg:     cfg,
+		planner: plan.Planner{BudgetBytes: cfg.TileBudgetBytes},
+		queue:   make(chan *Job, cfg.QueueDepth),
+		cache:   newCache(cfg.CacheSize),
+		lat:     newLatencyRing(cfg.LatencyWindow),
+		jobs:    make(map[string]*Job),
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a solve, returning its job handle without
+// waiting. It fails fast with ErrQueueFull when the bounded queue is at
+// capacity.
+func (s *Engine) Submit(req Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		req:        req,
+		done:       make(chan struct{}),
+		ctx:        ctx,
+		cancel:     cancel,
+		state:      JobQueued,
+		enqueuedAt: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	job.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	select {
+	case s.queue <- job:
+		s.jobs[job.id] = job
+		s.mu.Unlock()
+		return job, nil
+	default:
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// Solve submits req and waits for completion (or ctx cancellation — the
+// solve itself keeps running; only the wait is abandoned). A job-level
+// failure is returned as a non-nil error alongside the finished view,
+// which still carries any partial result.
+func (s *Engine) Solve(ctx context.Context, req Request) (JobView, error) {
+	job, err := s.Submit(req)
+	if err != nil {
+		return JobView{}, err
+	}
+	select {
+	case <-job.Done():
+		v := s.ViewOf(job)
+		if v.State == JobFailed {
+			return v, fmt.Errorf("engine: job %s failed: %s", v.ID, v.Error)
+		}
+		return v, nil
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+}
+
+// Cancel aborts a job by ID: a queued job is skipped when dequeued, a
+// running solve stops at its next iteration boundary and the job finishes
+// as failed with the cancellation error. Reports whether the ID was known.
+func (s *Engine) Cancel(id string) bool {
+	job, ok := s.JobRef(id)
+	if !ok {
+		return false
+	}
+	job.Cancel()
+	return true
+}
+
+// PlanRequest resolves the execution plan the service would run req with —
+// backend, batch tiles, kernel fan-out, step count — without solving
+// anything. When the request's problem is already cached its memoized
+// structure probe answers immediately; otherwise the system is assembled
+// just for the probe (never inserted into the cache, and no preconditioner
+// or spectral interval is built — planning must stay far cheaper than
+// solving). Either way a later solve of the same request reports an
+// identical JobResult.Plan.
+func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
+	if err := req.Validate(); err != nil {
+		return PlanInfo{}, err
+	}
+	cfg, err := req.coreConfig()
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	var probe *plan.Probe
+	if pb := req.Prebuilt; pb != nil && pb.Probe != nil {
+		probe = pb.Probe
+	}
+	if probe == nil {
+		if entry, ok := s.cache.peek(req.cacheKey()); ok {
+			entry.once.Do(func() { entry.build(&req) })
+			if entry.err == nil {
+				probe = entry.structureProbe()
+			}
+		}
+	}
+	if probe == nil {
+		sys, _, err := req.assemble()
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		p := plan.NewProbe(sys.K)
+		probe = &p
+	}
+	pl := s.plannerFor(cfg).Plan(plan.Inputs{
+		Probe:   probe,
+		Policy:  cfg.Backend,
+		RHS:     req.batchSize(),
+		M:       cfg.M,
+		Workers: s.workersFor(cfg),
+	})
+	return planInfo(pl), nil
+}
+
+// plannerFor returns the planner a resolved config runs under: the engine's
+// shared planner, unless the (in-process, full-config) request pins its own
+// tile budget.
+func (s *Engine) plannerFor(cfg core.Config) plan.Planner {
+	if cfg.TileBudgetBytes > 0 {
+		return plan.Planner{BudgetBytes: cfg.TileBudgetBytes}
+	}
+	return s.planner
+}
+
+// workersFor resolves the kernel fan-out budget for a job: the engine's
+// per-solve worker budget, unless the (in-process, full-config) request
+// pins its own.
+func (s *Engine) workersFor(cfg core.Config) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return s.cfg.WorkerBudget
+}
+
+// planInfo shapes a resolved plan for job results and the HTTP API.
+func planInfo(pl plan.Plan) PlanInfo {
+	return PlanInfo{
+		Backend: pl.Backend.String(),
+		Tiles:   pl.Tiles,
+		Workers: pl.Workers,
+		M:       pl.M,
+	}
+}
+
+// ViewOf snapshots a job the caller already holds — unlike Job(id) it
+// cannot miss, even if the job has aged out of the lookup history.
+func (s *Engine) ViewOf(job *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return job.view(time.Now())
+}
+
+// Job snapshots a job by ID.
+func (s *Engine) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(time.Now()), true
+}
+
+// JobRef returns the live job record by ID (for streaming subscriptions
+// and cancellation).
+func (s *Engine) JobRef(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Watch subscribes to job's per-case completions: it returns the
+// already-finished cases as replay events, a channel carrying every later
+// completion (closed once the job finishes and all events are delivered),
+// and a stop function that must be called when the consumer detaches. The
+// engine's StreamSubscribers gauge counts the open watches. Watch is the
+// single fan-out path shared by the HTTP stream handlers and the local
+// solver's streaming API.
+func (s *Engine) Watch(job *Job) (replay []CaseEvent, ch <-chan CaseEvent, stop func()) {
+	replay, ch, id := job.subscribe()
+	s.streamSubs.Add(1)
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if id >= 0 {
+				job.unsubscribe(id)
+			}
+			s.streamSubs.Add(-1)
+		})
+	}
+	return replay, ch, stop
+}
+
+// Stats snapshots the service health counters.
+func (s *Engine) Stats() Stats {
+	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
+	st := Stats{
+		Workers:           s.cfg.Workers,
+		WorkerBudget:      s.cfg.WorkerBudget,
+		QueueDepth:        len(s.queue),
+		QueueCap:          s.cfg.QueueDepth,
+		Running:           int(s.running.Load()),
+		JobsDone:          s.jobsDone.Load(),
+		JobsFailed:        s.jobsFailed.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      s.cache.len(),
+		TotalIterations:   s.totalIters.Load(),
+		SolvesCSR:         s.solvesCSR.Load(),
+		SolvesDIA:         s.solvesDIA.Load(),
+		TilesExecuted:     s.tilesExecuted.Load(),
+		StreamSubscribers: s.streamSubs.Load(),
+		LatencyP50:        s.lat.quantile(0.50),
+		LatencyP99:        s.lat.quantile(0.99),
+		UptimeSeconds:     time.Since(s.started).Seconds(),
+	}
+	if total := hits + misses; total > 0 {
+		st.CacheHitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
+// Abort cancels every unfinished job — queued jobs are skipped when
+// dequeued, running solves stop at their next iteration boundary. It is
+// the hard-stop lever for daemons whose drain deadline expired: call it
+// before Close so Close's queue drain terminates promptly instead of
+// fully solving everything still queued. Finished jobs are unaffected.
+func (s *Engine) Abort() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+}
+
+// Close stops accepting jobs, drains the queue, and waits for in-flight
+// solves to finish.
+func (s *Engine) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker owns one reusable scalar CG workspace and one block workspace and
+// processes jobs until the queue closes: the steady-state solve path
+// allocates only the per-job solution vector(s).
+func (s *Engine) worker() {
+	defer s.wg.Done()
+	ws := cg.NewWorkspace(0)
+	bws := cg.NewBlockWorkspace(0, 0)
+	for job := range s.queue {
+		if cerr := job.ctx.Err(); cerr != nil {
+			// Canceled while queued: skip execution entirely.
+			s.transition(job, JobRunning, nil, nil)
+			s.transition(job, JobFailed, nil, fmt.Errorf("engine: job canceled while queued: %w", cerr))
+			continue
+		}
+		s.runJob(job, ws, bws)
+	}
+}
+
+func (s *Engine) transition(job *Job, state JobState, result *JobResult, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	job.state = state
+	switch state {
+	case JobRunning:
+		job.startedAt = now
+	case JobDone, JobFailed:
+		job.finishedAt = now
+		job.result = result
+		job.err = err
+		s.finished = append(s.finished, job.id)
+		for len(s.finished) > s.cfg.HistoryLimit {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
+	}
+	s.mu.Unlock()
+	if state == JobDone || state == JobFailed {
+		if state == JobDone {
+			s.jobsDone.Add(1)
+		} else {
+			s.jobsFailed.Add(1)
+		}
+		s.lat.add(now.Sub(job.enqueuedAt).Seconds())
+		job.cancel() // release the context's resources
+		close(job.done)
+		// End subscriptions last: by now the final result is published, so
+		// stream handlers wake to a complete job view.
+		job.closeStreams()
+	}
+}
+
+// runJob is the plan → execute → emit pipeline for one job: resolve the
+// problem (via the cache when the request is keyed), check out a
+// preconditioner, let the planner turn the request's shape into an
+// execution plan, then run the plan's tiles, emitting each case's result
+// the moment its column retires. A batched request runs as one job against
+// one cache entry and one preconditioner checkout; every block traversal
+// is shared across the tile's columns.
+func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	s.transition(job, JobRunning, nil, nil)
+
+	cfg, err := job.req.coreConfig()
+	if err != nil {
+		s.transition(job, JobFailed, nil, err)
+		return
+	}
+
+	var (
+		sys    core.System
+		plate  *fem.Plate
+		pc     precond.Preconditioner
+		iv     eigen.Interval
+		alphas poly.Alphas
+		name   string
+		entry  *cacheEntry // non-nil on the cached path
+	)
+	if key := job.req.cacheKey(); key != "" {
+		// existed=false only for the requester that created the entry; every
+		// later requester (even one blocking on the first build in once.Do)
+		// reuses the assembled system and estimated interval.
+		var existed bool
+		entry, existed = s.cache.get(key)
+		entry.once.Do(func() { entry.build(&job.req) })
+		if entry.err != nil {
+			s.cache.drop(entry)
+			s.transition(job, JobFailed, nil, entry.err)
+			return
+		}
+		s.mu.Lock()
+		job.cacheHit = existed
+		s.mu.Unlock()
+		sys, plate, iv, alphas, name = entry.sys, entry.plate, entry.interval, entry.alphas, entry.precond
+		var cerr error
+		pc, cerr = entry.checkout()
+		if cerr != nil {
+			s.transition(job, JobFailed, nil, fmt.Errorf("engine: preconditioner rebuild failed for %s: %w", key, cerr))
+			return
+		}
+		defer entry.release(pc)
+	} else {
+		sys, plate, err = job.req.assemble()
+		if err != nil {
+			s.transition(job, JobFailed, nil, err)
+			return
+		}
+		pc, alphas, iv, err = core.BuildPreconditioner(sys, cfg)
+		if err != nil {
+			s.transition(job, JobFailed, nil, err)
+			return
+		}
+		name = pc.Name()
+	}
+
+	fs, ferr := job.req.rhsCols(sys)
+	if ferr != nil {
+		s.transition(job, JobFailed, nil, ferr)
+		return
+	}
+
+	// Plan: the planner is the single place the request's shape — matrix
+	// structure, batch width, budgets — becomes an execution decision. On
+	// the cached path the structure probe is memoized in the entry (seeded
+	// from the caller's own memo for prebuilt problems), so repeated solves
+	// of a cached problem never rescan the pattern.
+	var probe *plan.Probe
+	switch {
+	case entry != nil:
+		probe = entry.structureProbe()
+	case job.req.Prebuilt != nil && job.req.Prebuilt.Probe != nil:
+		probe = job.req.Prebuilt.Probe
+	default:
+		p := plan.NewProbe(sys.K)
+		probe = &p
+	}
+	pl := s.plannerFor(cfg).Plan(plan.Inputs{
+		Probe:   probe,
+		Policy:  cfg.Backend,
+		RHS:     len(fs),
+		M:       cfg.M,
+		Workers: s.workersFor(cfg),
+	})
+
+	// Materialize the planned backend's operator (the DIA conversion is
+	// cached next to the CSR on the cached path).
+	var op sparse.Operator = sys.K
+	if pl.Backend == core.BackendDIA {
+		var dia *sparse.DIA
+		var derr error
+		if entry != nil {
+			dia, derr = entry.getDIA()
+		} else {
+			dia, derr = sparse.NewDIAFromCSR(sys.K)
+		}
+		if derr != nil {
+			s.transition(job, JobFailed, nil, derr)
+			return
+		}
+		op = dia
+		s.solvesDIA.Add(1)
+	} else {
+		s.solvesCSR.Add(1)
+	}
+
+	opts := cg.Options{
+		Tol:            cfg.Tol,
+		RelResidualTol: cfg.RelResidualTol,
+		MaxIter:        cfg.MaxIter,
+		History:        cfg.History,
+		Workers:        pl.Workers,
+		Ctx:            job.ctx,
+	}
+	if opts.Tol <= 0 && opts.RelResidualTol <= 0 {
+		opts.Tol = 1e-6
+	}
+
+	// Execute + emit.
+	job.initCases(len(fs))
+	var res *JobResult
+	if len(fs) > 1 {
+		res, err = s.runTiles(job, op, plate, pc, fs, pl, opts, bws)
+	} else {
+		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws)
+	}
+	res.Precond = name
+	res.Backend = pl.Backend.String()
+	info := planInfo(pl)
+	res.Plan = &info
+	res.IntervalLo, res.IntervalHi = iv.Lo, iv.Hi
+	if alphas.M() > 0 {
+		a := alphas
+		res.Alphas = &a
+	}
+	if err != nil {
+		s.transition(job, JobFailed, res, err)
+		return
+	}
+	s.transition(job, JobDone, res, nil)
+}
+
+// runScalar is the single-RHS solve path (a one-column plan: one tile, one
+// case event). op is the backend-resolved form of the system matrix.
+func (s *Engine) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace) (*JobResult, error) {
+	n, _ := op.Dims()
+	u := make([]float64, n)
+	st, err := cg.SolveInto(u, op, f, pc, opts, ws)
+	s.totalIters.Add(int64(st.Iterations))
+	s.tilesExecuted.Add(1)
+
+	res := &JobResult{
+		Converged:     st.Converged,
+		Iterations:    st.Iterations,
+		MatVecs:       st.MatVecs,
+		PrecondApps:   st.PrecondApps,
+		InnerProducts: st.InnerProducts,
+		FinalUDiff:    st.FinalUDiff,
+		FinalRelRes:   st.FinalRelRes,
+		RHS:           1,
+		CGStats:       &st,
+	}
+	if !job.req.OmitSolution {
+		res.U = u
+		res.Nodes, res.NodeU, res.NodeV = plateDisplacements(plate, u)
+	}
+	cr := CaseResult{
+		Converged:   st.Converged,
+		Iterations:  st.Iterations,
+		FinalUDiff:  st.FinalUDiff,
+		FinalRelRes: st.FinalRelRes,
+		U:           res.U,
+		Nodes:       res.Nodes,
+		NodeU:       res.NodeU,
+		NodeV:       res.NodeV,
+		CGStats:     &st,
+	}
+	if err != nil {
+		cr.Error = err.Error()
+	}
+	job.caseFinished(0, cr)
+	return res, err
+}
+
+// runTiles is the batched solve path: the plan's column tiles execute as
+// sequential block solves sharing one workspace, and every column
+// retirement — converged, broken down, or canceled — emits that case's
+// result immediately via the deflation hook, so early-converging load
+// cases are visible to stream subscribers while the slowest column is
+// still iterating. op is the backend-resolved form of the system matrix.
+func (s *Engine) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, pl plan.Plan, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
+	n, _ := op.Dims()
+	res := &JobResult{RHS: len(fs), Converged: true}
+	var errs []error
+	var canceled error
+	for ti, tileCols := range pl.Tiles {
+		if cerr := job.ctx.Err(); cerr != nil {
+			// Canceled between tiles: the remaining cases fail without
+			// running (their events still fire, so streams see every case);
+			// the cancellation joins the job error once, not once per tile.
+			for _, c := range tileCols {
+				job.caseFinished(c, CaseResult{Error: cerr.Error()})
+			}
+			res.Converged = false
+			canceled = cerr
+			continue
+		}
+		cols := make([][]float64, len(tileCols))
+		for i, c := range tileCols {
+			cols[i] = fs[c]
+		}
+		u := vec.NewMulti(n, len(tileCols))
+		topts := opts
+		topts.OnColumnDone = func(col int, cs cg.ColumnStats) {
+			colStats := cs.Stats
+			cr := CaseResult{
+				Converged:   cs.Stats.Converged,
+				Iterations:  cs.Stats.Iterations,
+				FinalUDiff:  cs.Stats.FinalUDiff,
+				FinalRelRes: cs.Stats.FinalRelRes,
+				CGStats:     &colStats,
+			}
+			if cs.Err != nil {
+				cr.Error = cs.Err.Error()
+			}
+			if !job.req.OmitSolution {
+				cr.U = append([]float64(nil), u.Col(col)...)
+				cr.Nodes, cr.NodeU, cr.NodeV = plateDisplacements(plate, cr.U)
+			}
+			job.caseFinished(tileCols[col], cr)
+		}
+		st, err := cg.SolveBlockInto(u, op, vec.MultiFromCols(cols), pc, topts, bws)
+		s.totalIters.Add(int64(st.Iterations))
+		s.tilesExecuted.Add(1)
+		res.Iterations += st.Iterations
+		res.MatVecs += st.SpMMs
+		res.PrecondApps += st.BlockPrecondApps
+		res.InnerProducts += st.InnerProducts
+		if !st.Converged {
+			res.Converged = false
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("tile %d (cases %d–%d): %w", ti, tileCols[0], tileCols[len(tileCols)-1], err))
+		}
+	}
+	if canceled != nil {
+		errs = append(errs, canceled)
+	}
+	res.Cases = job.snapshotCases()
+	for i := range res.Cases {
+		res.FinalUDiff = max(res.FinalUDiff, res.Cases[i].FinalUDiff)
+		res.FinalRelRes = max(res.FinalRelRes, res.Cases[i].FinalRelRes)
+	}
+	return res, errors.Join(errs...)
+}
+
+// plateDisplacements maps a colored-ordering solution back to per-node
+// displacements; nil for non-plate problems.
+func plateDisplacements(plate *fem.Plate, u []float64) (nodes []int, nu, nv []float64) {
+	if plate == nil {
+		return nil, nil, nil
+	}
+	natural := plate.UncolorSolution(u)
+	nodes = plate.Free
+	nu = make([]float64, len(plate.Free))
+	nv = make([]float64, len(plate.Free))
+	for k := range plate.Free {
+		nu[k] = natural[2*k]
+		nv[k] = natural[2*k+1]
+	}
+	return nodes, nu, nv
+}

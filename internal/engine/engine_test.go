@@ -1,4 +1,4 @@
-package service
+package engine
 
 import (
 	"context"
@@ -11,8 +11,8 @@ import (
 	"repro/internal/fem"
 )
 
-func plateReq(rows, cols, m int) SolveRequest {
-	return SolveRequest{
+func plateReq(rows, cols, m int) Request {
+	return Request{
 		Plate:  &PlateSpec{Rows: rows, Cols: cols},
 		Solver: SolverSpec{M: m, Coeffs: "least-squares", Tol: 1e-7},
 	}
@@ -20,7 +20,7 @@ func plateReq(rows, cols, m int) SolveRequest {
 
 // laplace1D builds the general-system request for the n-point 1-D
 // Laplacian with a unit load at the middle.
-func laplace1D(n int, key string) SolveRequest {
+func laplace1D(n int, key string) Request {
 	var i, j []int
 	var v []float64
 	add := func(a, b int, x float64) { i = append(i, a); j = append(j, b); v = append(v, x) }
@@ -33,13 +33,13 @@ func laplace1D(n int, key string) SolveRequest {
 	}
 	f := make([]float64, n)
 	f[n/2] = 1
-	return SolveRequest{
+	return Request{
 		System: &SystemSpec{N: n, I: i, J: j, V: v, F: f, Key: key},
 		Solver: SolverSpec{M: 2, Splitting: "jacobi", RelResidualTol: 1e-10},
 	}
 }
 
-func TestServicePlateSolveMatchesLibrary(t *testing.T) {
+func TestEnginePlateSolveMatchesLibrary(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 
@@ -72,7 +72,7 @@ func TestServicePlateSolveMatchesLibrary(t *testing.T) {
 	}
 }
 
-func TestServiceCacheReuse(t *testing.T) {
+func TestEngineCacheReuse(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 
@@ -116,7 +116,7 @@ func TestServiceCacheReuse(t *testing.T) {
 	}
 }
 
-func TestServiceGeneralSystemAndKeyedCache(t *testing.T) {
+func TestEngineGeneralSystemAndKeyedCache(t *testing.T) {
 	s := New(Config{Workers: 2})
 	defer s.Close()
 
@@ -145,7 +145,7 @@ func TestServiceGeneralSystemAndKeyedCache(t *testing.T) {
 	}
 }
 
-func TestServiceConcurrentSolves(t *testing.T) {
+func TestEngineConcurrentSolves(t *testing.T) {
 	s := New(Config{Workers: 4, QueueDepth: 1024})
 	defer s.Close()
 
@@ -158,7 +158,7 @@ func TestServiceConcurrentSolves(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			// Mix of identical (cacheable) and distinct problems.
-			var req SolveRequest
+			var req Request
 			switch i % 3 {
 			case 0:
 				req = plateReq(10, 10, 2)
@@ -195,14 +195,14 @@ func TestServiceConcurrentSolves(t *testing.T) {
 // milliseconds — much longer than a request roundtrip even on one CPU — so
 // queue-bound tests observe a busy worker: a tight residual target on a
 // larger plate with plain CG.
-func slowReq() SolveRequest {
-	return SolveRequest{
+func slowReq() Request {
+	return Request{
 		Plate:  &PlateSpec{Rows: 48, Cols: 48},
 		Solver: SolverSpec{M: 0, RelResidualTol: 1e-13, MaxIter: 30000},
 	}
 }
 
-func TestServiceQueueBounds(t *testing.T) {
+func TestEngineQueueBounds(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 1})
 	defer s.Close()
 
@@ -223,11 +223,11 @@ func TestServiceQueueBounds(t *testing.T) {
 	}
 }
 
-func TestServiceValidationAndFailures(t *testing.T) {
+func TestEngineValidationAndFailures(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 
-	bad := []SolveRequest{
+	bad := []Request{
 		{},                                    // neither plate nor system
 		{Plate: &PlateSpec{Rows: 1, Cols: 5}}, // degenerate plate
 		{Plate: &PlateSpec{Rows: 4, Cols: 4}, System: &SystemSpec{N: 2}},                                 // both
@@ -244,7 +244,7 @@ func TestServiceValidationAndFailures(t *testing.T) {
 
 	// Resource caps and material validity are enforced at submission, so a
 	// tiny request cannot commission a huge allocation or a doomed job.
-	capped := []SolveRequest{
+	capped := []Request{
 		{Plate: &PlateSpec{Rows: 30000, Cols: 30000}},
 		{Plate: &PlateSpec{Rows: 4, Cols: 4, E: -1}},               // invalid material
 		{Plate: &PlateSpec{Rows: 4, Cols: 4, E: 1, T: 1, Nu: 0.5}}, // ν at limit
@@ -259,7 +259,7 @@ func TestServiceValidationAndFailures(t *testing.T) {
 
 	// Asymmetric system passes Validate but fails at assembly → JobFailed,
 	// and the failed build must not poison the cache.
-	asym := SolveRequest{
+	asym := Request{
 		System: &SystemSpec{
 			N: 2, I: []int{0, 0, 1}, J: []int{0, 1, 1}, V: []float64{1, 0.5, 1},
 			F: []float64{1, 1}, Key: "asym",
@@ -285,7 +285,7 @@ func TestServiceValidationAndFailures(t *testing.T) {
 	}
 }
 
-func TestServiceClose(t *testing.T) {
+func TestEngineClose(t *testing.T) {
 	s := New(Config{Workers: 2})
 	jobs := make([]*Job, 0, 8)
 	for i := 0; i < 8; i++ {
@@ -308,7 +308,7 @@ func TestServiceClose(t *testing.T) {
 	}
 }
 
-func TestServiceOmitSolution(t *testing.T) {
+func TestEngineOmitSolution(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 	req := plateReq(8, 8, 2)
@@ -325,7 +325,7 @@ func TestServiceOmitSolution(t *testing.T) {
 	}
 }
 
-func TestServiceJobLookup(t *testing.T) {
+func TestEngineJobLookup(t *testing.T) {
 	s := New(Config{Workers: 1, HistoryLimit: 2})
 	defer s.Close()
 	var last string
@@ -347,7 +347,7 @@ func TestServiceJobLookup(t *testing.T) {
 	}
 }
 
-func TestServiceWorkerBudgetDefaults(t *testing.T) {
+func TestEngineWorkerBudgetDefaults(t *testing.T) {
 	for _, tc := range []struct{ workers, budget, wantBudgetMin int }{
 		{1, 0, 1},
 		{4, 0, 1},
@@ -505,12 +505,12 @@ func TestStatsLatencyQuantiles(t *testing.T) {
 
 func TestCacheKeyDistinguishesSolverSettings(t *testing.T) {
 	base := plateReq(10, 10, 3)
-	variants := []SolveRequest{
+	variants := []Request{
 		plateReq(10, 10, 4),
 		plateReq(10, 11, 3),
-		func() SolveRequest { r := plateReq(10, 10, 3); r.Solver.Coeffs = "chebyshev"; return r }(),
-		func() SolveRequest { r := plateReq(10, 10, 3); r.Solver.Omega = 1.2; return r }(),
-		func() SolveRequest { r := plateReq(10, 10, 3); r.Plate.E = 2; return r }(),
+		func() Request { r := plateReq(10, 10, 3); r.Solver.Coeffs = "chebyshev"; return r }(),
+		func() Request { r := plateReq(10, 10, 3); r.Solver.Omega = 1.2; return r }(),
+		func() Request { r := plateReq(10, 10, 3); r.Plate.E = 2; return r }(),
 	}
 	seen := map[string]bool{base.cacheKey(): true}
 	for i, v := range variants {
@@ -542,12 +542,12 @@ func TestCacheKeyDistinguishesSolverSettings(t *testing.T) {
 	if explicitMat.cacheKey() != base.cacheKey() {
 		t.Fatalf("explicit default material split the cache: %q vs %q", explicitMat.cacheKey(), base.cacheKey())
 	}
-	if k := (&SolveRequest{System: &SystemSpec{N: 2}}).cacheKey(); k != "" {
+	if k := (&Request{System: &SystemSpec{N: 2}}).cacheKey(); k != "" {
 		t.Fatalf("unkeyed system got cache key %q", k)
 	}
 }
 
-func TestServiceSolveContextCancel(t *testing.T) {
+func TestEngineSolveContextCancel(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -557,10 +557,10 @@ func TestServiceSolveContextCancel(t *testing.T) {
 	}
 }
 
-func ExampleService() {
+func ExampleEngine() {
 	s := New(Config{Workers: 2})
 	defer s.Close()
-	v, err := s.Solve(context.Background(), SolveRequest{
+	v, err := s.Solve(context.Background(), Request{
 		Plate:  &PlateSpec{Rows: 10, Cols: 10},
 		Solver: SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-7},
 	})

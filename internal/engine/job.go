@@ -1,9 +1,12 @@
-package service
+package engine
 
 import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/cg"
+	"repro/internal/poly"
 )
 
 // JobState is the lifecycle of a submitted solve.
@@ -18,7 +21,7 @@ const (
 
 // PlanInfo is the resolved execution plan recorded on a job result: the
 // decisions the planner made for this request (see internal/plan). The
-// same request re-planned offline (Service.PlanRequest or POST /v1/plan)
+// same request re-planned offline (Engine.PlanRequest or POST /v1/plan)
 // yields the same PlanInfo.
 type PlanInfo struct {
 	// Backend is the resolved matvec storage ("csr" or "dia").
@@ -54,6 +57,14 @@ type JobResult struct {
 	// coefficients (0,0 when none was needed).
 	IntervalLo float64 `json:"interval_lo,omitempty"`
 	IntervalHi float64 `json:"interval_hi,omitempty"`
+	// Alphas reports the m-step polynomial coefficients the preconditioner
+	// ran with (nil when M == 0).
+	Alphas *poly.Alphas `json:"alphas,omitempty"`
+	// CGStats carries the full CG iteration report for single-RHS solves —
+	// recurrence coefficients, optional histories — for in-process callers
+	// (repro.Solve reconstructs its Result from it). Never serialized; HTTP
+	// results carry the flat counters above instead.
+	CGStats *cg.Stats `json:"-"`
 	// U is the solution in the solver's ordering (multicolor for plates);
 	// omitted when the request set OmitSolution.
 	U []float64 `json:"u,omitempty"`
@@ -90,27 +101,34 @@ type CaseResult struct {
 	Nodes []int     `json:"nodes,omitempty"`
 	NodeU []float64 `json:"node_u,omitempty"`
 	NodeV []float64 `json:"node_v,omitempty"`
+	// CGStats carries the case's full CG iteration report for in-process
+	// callers (repro.SolveBatch reconstructs its Results from it). Never
+	// serialized.
+	CGStats *cg.Stats `json:"-"`
 }
 
-// caseEvent is one streamed per-case completion: case idx converged (or
-// failed) while the rest of the job was still running.
-type caseEvent struct {
+// CaseEvent is one streamed per-case completion: case Case converged (or
+// failed) while the rest of the job was still running. The terminal event
+// of a stream instead carries the finished job in Done (with Case = -1);
+// exactly one Done event ends every stream.
+type CaseEvent struct {
 	Case   int         `json:"case"`
-	Result *CaseResult `json:"result"`
+	Result *CaseResult `json:"result,omitempty"`
+	Done   *JobView    `json:"done,omitempty"`
 }
 
-// Job is the service's record of one solve. The lifecycle fields are
-// guarded by the owning Service's mutex; the streaming state (per-case
+// Job is the engine’s record of one solve. The lifecycle fields are
+// guarded by the owning Engine’s mutex; the streaming state (per-case
 // table, subscribers) is guarded by the job's own mutex, because case
 // completions arrive from the solve's hot loop and must not contend with
 // every other job's bookkeeping.
 type Job struct {
 	id   string
-	req  SolveRequest
+	req  Request
 	done chan struct{}
 
 	// ctx is canceled to abort the solve (client disconnect on a
-	// synchronous request, Service.Cancel, or service shutdown); the solve
+	// synchronous request, Engine.Cancel, or engine shutdown); the solve
 	// loop polls it at iteration boundaries.
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -128,7 +146,7 @@ type Job struct {
 	cases    []CaseResult // per-case results, filled as columns converge
 	caseDone []bool
 	nDone    int
-	subs     map[int]chan caseEvent
+	subs     map[int]chan CaseEvent
 	nextSub  int
 	closed   bool // all case events delivered; subscriber channels closed
 }
@@ -151,7 +169,7 @@ type JobView struct {
 	Result        *JobResult `json:"result,omitempty"`
 }
 
-// view snapshots the job; the caller must hold the service mutex.
+// view snapshots the job; the caller must hold the engine mutex.
 func (j *Job) view(now time.Time) JobView {
 	v := JobView{ID: j.id, State: j.state, CacheHit: j.cacheHit, Result: j.result}
 	if j.err != nil {
@@ -180,6 +198,16 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
 
+// Err returns the job's failure cause (the original error value, so callers
+// can unwrap per-column joins and context errors). Only valid after Done is
+// closed: the fields are published before the channel close.
+func (j *Job) Err() error { return j.err }
+
+// Result returns the finished job's result (possibly partial on failure,
+// nil when the job failed before executing). Only valid after Done is
+// closed.
+func (j *Job) Result() *JobResult { return j.result }
+
 // Cancel aborts the job: queued jobs are skipped when dequeued, running
 // solves stop at the next iteration boundary (reported as failed with the
 // context's error). Canceling a finished job is a no-op.
@@ -207,7 +235,7 @@ func (j *Job) caseFinished(idx int, cr CaseResult) {
 	j.caseDone[idx] = true
 	j.cases[idx] = cr
 	j.nDone++
-	ev := caseEvent{Case: idx, Result: &j.cases[idx]}
+	ev := CaseEvent{Case: idx, Result: &j.cases[idx]}
 	for _, ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -231,24 +259,24 @@ func (j *Job) snapshotCases() []CaseResult {
 // The channel is closed once the job finishes and all events are delivered;
 // a subscriber joining after that gets the full replay and an
 // already-closed channel.
-func (j *Job) subscribe() (replay []caseEvent, ch <-chan caseEvent, id int) {
+func (j *Job) subscribe() (replay []CaseEvent, ch <-chan CaseEvent, id int) {
 	j.smu.Lock()
 	defer j.smu.Unlock()
 	for idx := range j.cases {
 		if j.caseDone[idx] {
-			replay = append(replay, caseEvent{Case: idx, Result: &j.cases[idx]})
+			replay = append(replay, CaseEvent{Case: idx, Result: &j.cases[idx]})
 		}
 	}
 	// Buffered to the largest number of events that can still arrive, so
 	// the solver-side publish never blocks. Before the solve starts the
 	// case table is empty, so size by the request's batch width instead.
-	c := make(chan caseEvent, max(j.req.batchSize(), len(j.cases))-len(replay)+1)
+	c := make(chan CaseEvent, max(j.req.batchSize(), len(j.cases))-len(replay)+1)
 	if j.closed {
 		close(c)
 		return replay, c, -1
 	}
 	if j.subs == nil {
-		j.subs = make(map[int]chan caseEvent)
+		j.subs = make(map[int]chan CaseEvent)
 	}
 	id = j.nextSub
 	j.nextSub++

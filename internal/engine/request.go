@@ -1,11 +1,14 @@
-// Package service turns the m-step PCG library into a resident solver
-// daemon: a bounded worker pool runs concurrent solves, a
-// problem/preconditioner cache amortizes plate assembly and spectral
-// interval estimation across requests (the service-level analogue of the
-// paper amortizing preconditioner construction over many cheap parallel
-// steps), and an HTTP/JSON API exposes submission, job status, and
-// operational statistics.
-package service
+// Package engine is the in-process heart of the solver: a bounded worker
+// pool runs concurrent solves, a sharded problem/preconditioner cache
+// amortizes assembly and spectral interval estimation across requests (the
+// session-level analogue of the paper amortizing preconditioner
+// construction over many cheap parallel steps), a planner turns every
+// request into an explicit execution plan, and per-case completions fan
+// out to subscribers as block columns retire. The HTTP daemon
+// (internal/service) and the embeddable local solver (repro.NewLocal) are
+// both thin adapters over this one engine, so in-process callers get the
+// same amortization, streaming and cancellation the daemon serves.
+package engine
 
 import (
 	"fmt"
@@ -13,8 +16,36 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fem"
+	"repro/internal/plan"
 	"repro/internal/sparse"
 )
+
+// Prebuilt is an already-assembled problem handed to the engine zero-copy:
+// in-process callers (the repro package's local solver) skip the spec →
+// assembly path entirely. The engine treats Sys as immutable.
+type Prebuilt struct {
+	// Sys is the assembled system. Sys.F is the default right-hand side
+	// when Fs is empty.
+	Sys core.System
+	// Plate, when non-nil, carries the mesh so results can report per-node
+	// displacements (and the solver defaults to the multicolor splitting).
+	Plate *fem.Plate
+	// Key, when non-empty, names the problem for the cache: repeated
+	// requests with the same Key and solver settings reuse the estimated
+	// spectral interval and pooled preconditioners. Empty disables caching.
+	Key string
+	// Fs, when non-empty, is the batch of right-hand sides solved against
+	// Sys.K in one block job (Sys.F is ignored).
+	Fs [][]float64
+	// Probe, when non-nil, is the caller's memoized structure scan of
+	// Sys.K; the engine plans from it instead of rescanning the pattern.
+	Probe *plan.Probe
+	// Config, when non-nil, is the full solver configuration, overriding
+	// the request's SolverSpec. This is how in-process callers express
+	// knobs the wire vocabulary cannot (a pinned spectral interval,
+	// iteration history, estimation seed, explicit kernel fan-out).
+	Config *core.Config
+}
 
 // PlateSpec asks for the paper's plane-stress plate problem: a rows×cols
 // node unit square, left edge clamped, right edge loaded, assembled in the
@@ -86,15 +117,33 @@ type SolverSpec struct {
 	Backend string `json:"backend,omitempty"`
 }
 
-// SolveRequest is one unit of work: exactly one of Plate or System, plus
-// the solver selection.
-type SolveRequest struct {
+// Request is one unit of work: exactly one of Plate, System, or Prebuilt,
+// plus the solver selection.
+type Request struct {
 	Plate  *PlateSpec  `json:"plate,omitempty"`
 	System *SystemSpec `json:"system,omitempty"`
 	Solver SolverSpec  `json:"solver"`
 	// OmitSolution drops the solution vector from the result (status and
 	// convergence stats only) — for large systems polled over HTTP.
 	OmitSolution bool `json:"omit_solution,omitempty"`
+	// Prebuilt, when non-nil, is an already-assembled in-process problem;
+	// never serialized (the wire vocabulary is Plate/System).
+	Prebuilt *Prebuilt `json:"-"`
+}
+
+// isPlate reports whether the request's problem carries a plate mesh (which
+// picks the multicolor-SSOR default splitting and node displacements).
+func (req *Request) isPlate() bool {
+	return req.Plate != nil || (req.Prebuilt != nil && req.Prebuilt.Plate != nil)
+}
+
+// coreConfig resolves the request's solver configuration: a Prebuilt's full
+// Config when present, the named SolverSpec otherwise.
+func (req *Request) coreConfig() (core.Config, error) {
+	if req.Prebuilt != nil && req.Prebuilt.Config != nil {
+		return *req.Prebuilt.Config, nil
+	}
+	return req.Solver.CoreConfig(req.isPlate())
 }
 
 // Size caps enforced at validation: the service is network-facing, so a
@@ -113,16 +162,49 @@ const (
 )
 
 // Validate checks request shape without doing any assembly.
-func (req *SolveRequest) Validate() error {
+func (req *Request) Validate() error {
+	if pb := req.Prebuilt; pb != nil {
+		// Prebuilt problems come from in-process callers, not the network:
+		// only structural integrity is checked here (no resource caps), and
+		// a full Config override is validated by core at build time.
+		if req.Plate != nil || req.System != nil {
+			return fmt.Errorf("engine: prebuilt request must not also carry a plate or system spec")
+		}
+		if pb.Sys.K == nil {
+			return fmt.Errorf("engine: prebuilt system has no matrix")
+		}
+		n := pb.Sys.K.Rows
+		if pb.Sys.K.Cols != n {
+			return fmt.Errorf("engine: prebuilt matrix is %d×%d, want square", n, pb.Sys.K.Cols)
+		}
+		if len(pb.Fs) == 0 && len(pb.Sys.F) != n {
+			return fmt.Errorf("engine: prebuilt rhs length %d != n %d", len(pb.Sys.F), n)
+		}
+		for k, f := range pb.Fs {
+			if len(f) != n {
+				return fmt.Errorf("engine: prebuilt rhs %d length %d != n %d", k, len(f), n)
+			}
+		}
+		if pb.Config != nil {
+			return nil
+		}
+		if _, _, err := req.Solver.kinds(req.isPlate()); err != nil {
+			return err
+		}
+		if _, err := core.ParseBackend(strings.ToLower(req.Solver.Backend)); err != nil {
+			return err
+		}
+		return nil
+	}
 	if (req.Plate == nil) == (req.System == nil) {
-		return fmt.Errorf("service: request needs exactly one of plate or system")
+		return fmt.Errorf("engine: request needs exactly one of plate or system")
 	}
 	if p := req.Plate; p != nil {
 		if p.Rows < 2 || p.Cols < 2 {
-			return fmt.Errorf("service: plate needs rows, cols >= 2, got %d×%d", p.Rows, p.Cols)
+			return fmt.Errorf("engine: plate needs rows, cols >= 2, got %d×%d", p.Rows, p.Cols)
 		}
 		if p.Rows > maxPlateNodes/p.Cols {
-			return fmt.Errorf("service: plate %d×%d exceeds the %d-node limit", p.Rows, p.Cols, maxPlateNodes)
+			return fmt.Errorf("engine: plate %d×%d exceeds the %d-node limit", p.Rows, p.Cols, maxPlateNodes)
 		}
 		// All-zero material selects the default; anything else must be a
 		// valid material now, not a failed job later.
@@ -132,51 +214,51 @@ func (req *SolveRequest) Validate() error {
 			}
 		}
 		if len(p.Tractions) > maxBatchRHS {
-			return fmt.Errorf("service: %d plate load cases exceed the %d limit", len(p.Tractions), maxBatchRHS)
+			return fmt.Errorf("engine: %d plate load cases exceed the %d limit", len(p.Tractions), maxBatchRHS)
 		}
 	}
 	if sy := req.System; sy != nil {
 		if sy.N <= 0 {
-			return fmt.Errorf("service: system needs n > 0, got %d", sy.N)
+			return fmt.Errorf("engine: system needs n > 0, got %d", sy.N)
 		}
 		if sy.N > maxSystemN {
-			return fmt.Errorf("service: system n = %d exceeds the %d limit", sy.N, maxSystemN)
+			return fmt.Errorf("engine: system n = %d exceeds the %d limit", sy.N, maxSystemN)
 		}
 		if len(sy.I) != len(sy.J) || len(sy.J) != len(sy.V) {
-			return fmt.Errorf("service: triplet lengths differ: |i|=%d |j|=%d |v|=%d", len(sy.I), len(sy.J), len(sy.V))
+			return fmt.Errorf("engine: triplet lengths differ: |i|=%d |j|=%d |v|=%d", len(sy.I), len(sy.J), len(sy.V))
 		}
 		switch {
 		case len(sy.Fs) > 0:
 			if len(sy.F) > 0 {
-				return fmt.Errorf("service: give f or fs, not both")
+				return fmt.Errorf("engine: give f or fs, not both")
 			}
 			if len(sy.Fs) > maxBatchRHS {
-				return fmt.Errorf("service: %d right-hand sides exceed the %d limit", len(sy.Fs), maxBatchRHS)
+				return fmt.Errorf("engine: %d right-hand sides exceed the %d limit", len(sy.Fs), maxBatchRHS)
 			}
 			for k, f := range sy.Fs {
 				if len(f) != sy.N {
-					return fmt.Errorf("service: rhs %d length %d != n %d", k, len(f), sy.N)
+					return fmt.Errorf("engine: rhs %d length %d != n %d", k, len(f), sy.N)
 				}
 			}
 		default:
 			if len(sy.F) != sy.N {
-				return fmt.Errorf("service: rhs length %d != n %d", len(sy.F), sy.N)
+				return fmt.Errorf("engine: rhs length %d != n %d", len(sy.F), sy.N)
 			}
 		}
 		for k := range sy.I {
 			if sy.I[k] < 0 || sy.I[k] >= sy.N || sy.J[k] < 0 || sy.J[k] >= sy.N {
-				return fmt.Errorf("service: triplet %d index (%d,%d) out of %d×%d", k, sy.I[k], sy.J[k], sy.N, sy.N)
+				return fmt.Errorf("engine: triplet %d index (%d,%d) out of %d×%d", k, sy.I[k], sy.J[k], sy.N, sy.N)
 			}
 		}
 	}
 	if req.Solver.M < 0 {
-		return fmt.Errorf("service: negative step count m = %d", req.Solver.M)
+		return fmt.Errorf("engine: negative step count m = %d", req.Solver.M)
 	}
 	if req.Solver.M > maxSteps {
-		return fmt.Errorf("service: step count m = %d exceeds the %d limit", req.Solver.M, maxSteps)
+		return fmt.Errorf("engine: step count m = %d exceeds the %d limit", req.Solver.M, maxSteps)
 	}
 	if o := req.Solver.Omega; o != 0 && (o <= 0 || o >= 2) {
-		return fmt.Errorf("service: relaxation parameter ω = %g outside (0, 2) (0 selects the default ω = 1)", o)
+		return fmt.Errorf("engine: relaxation parameter ω = %g outside (0, 2) (0 selects the default ω = 1)", o)
 	}
 	if _, _, err := req.Solver.kinds(req.Plate != nil); err != nil {
 		return err
@@ -204,7 +286,7 @@ func (s SolverSpec) kinds(isPlate bool) (core.SplittingKind, core.CoeffKind, err
 	case "jacobi":
 		sk = core.JacobiSplitting
 	default:
-		return 0, 0, fmt.Errorf("service: unknown splitting %q (want ssor-multicolor, ssor-natural or jacobi)", s.Splitting)
+		return 0, 0, fmt.Errorf("engine: unknown splitting %q (want ssor-multicolor, ssor-natural or jacobi)", s.Splitting)
 	}
 	var ck core.CoeffKind
 	switch strings.ToLower(s.Coeffs) {
@@ -217,7 +299,7 @@ func (s SolverSpec) kinds(isPlate bool) (core.SplittingKind, core.CoeffKind, err
 	case "weighted-ls":
 		ck = core.WeightedLSCoeffs
 	default:
-		return 0, 0, fmt.Errorf("service: unknown coeffs %q (want ones, least-squares, chebyshev or weighted-ls)", s.Coeffs)
+		return 0, 0, fmt.Errorf("engine: unknown coeffs %q (want ones, least-squares, chebyshev or weighted-ls)", s.Coeffs)
 	}
 	return sk, ck, nil
 }
@@ -227,9 +309,10 @@ func (s SolverSpec) backend() (core.Backend, error) {
 	return core.ParseBackend(strings.ToLower(s.Backend))
 }
 
-// config translates the spec into a core.Config (Workers and Interval are
-// filled in by the scheduler).
-func (s SolverSpec) config(isPlate bool) (core.Config, error) {
+// CoreConfig translates the spec into a core.Config (Workers and Interval
+// are filled in by the scheduler). Exported so the repro package can derive
+// the config a spec names when building prebuilt requests.
+func (s SolverSpec) CoreConfig(isPlate bool) (core.Config, error) {
 	sk, ck, err := s.kinds(isPlate)
 	if err != nil {
 		return core.Config{}, err
@@ -257,9 +340,30 @@ func (s SolverSpec) config(isPlate bool) (core.Config, error) {
 // shorthand. The backend is deliberately not part of the key: an entry
 // caches the CSR and its DIA conversion side by side, so requests
 // differing only in backend share one assembled problem.
-func (req *SolveRequest) cacheKey() string {
+func (req *Request) cacheKey() string {
 	var problem string
 	switch {
+	case req.Prebuilt != nil:
+		pb := req.Prebuilt
+		if pb.Key == "" {
+			return ""
+		}
+		problem = "prebuilt/" + pb.Key
+		if cfg := pb.Config; cfg != nil {
+			// A full-config request keys on the resolved enums (plus the
+			// estimation seed, which shapes the cached interval); Workers,
+			// tolerances and History are execution knobs, not part of the
+			// prepared problem.
+			omega := cfg.Omega
+			if omega == 0 {
+				omega = 1
+			}
+			seed := cfg.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			return fmt.Sprintf("%s|%s/m=%d/%s/omega=%g/seed=%d", problem, cfg.Splitting, cfg.M, cfg.Coeffs, omega, seed)
+		}
 	case req.Plate != nil:
 		p := req.Plate
 		// Mirror fem.NewPlate's defaulting, so spelling the defaults out
@@ -278,7 +382,7 @@ func (req *SolveRequest) cacheKey() string {
 	default:
 		return ""
 	}
-	sk, ck, err := req.Solver.kinds(req.Plate != nil)
+	sk, ck, err := req.Solver.kinds(req.isPlate())
 	if err != nil {
 		return ""
 	}
@@ -290,7 +394,10 @@ func (req *SolveRequest) cacheKey() string {
 }
 
 // batchSize reports the number of right-hand sides the request solves.
-func (req *SolveRequest) batchSize() int {
+func (req *Request) batchSize() int {
+	if req.Prebuilt != nil && len(req.Prebuilt.Fs) > 0 {
+		return len(req.Prebuilt.Fs)
+	}
 	if req.Plate != nil && len(req.Plate.Tractions) > 0 {
 		return len(req.Plate.Tractions)
 	}
@@ -307,13 +414,30 @@ func (req *SolveRequest) batchSize() int {
 // so a keyed entry never pins the first submitter's RHS onto later
 // requests. Every returned column is freshly allocated (never aliasing the
 // cached system).
-func (req *SolveRequest) rhsCols(sys core.System) ([][]float64, error) {
+func (req *Request) rhsCols(sys core.System) ([][]float64, error) {
 	n := sys.K.Rows
 	check := func(f []float64, which string) error {
 		if len(f) != n {
-			return fmt.Errorf("service: %s length %d != system size %d (cache key reused for a different matrix?)", which, len(f), n)
+			return fmt.Errorf("engine: %s length %d != system size %d (cache key reused for a different matrix?)", which, len(f), n)
 		}
 		return nil
+	}
+	if pb := req.Prebuilt; pb != nil {
+		if len(pb.Fs) == 0 {
+			out := make([]float64, n)
+			copy(out, sys.F)
+			return [][]float64{out}, nil
+		}
+		cols := make([][]float64, len(pb.Fs))
+		for k, f := range pb.Fs {
+			if err := check(f, fmt.Sprintf("rhs %d", k)); err != nil {
+				return nil, err
+			}
+			col := make([]float64, n)
+			copy(col, f)
+			cols[k] = col
+		}
+		return cols, nil
 	}
 	if p := req.Plate; p != nil {
 		base := sys.F
@@ -361,7 +485,12 @@ func (req *SolveRequest) rhsCols(sys core.System) ([][]float64, error) {
 // assemble builds the linear system for the request (the expensive step the
 // cache exists to skip). For plates it returns the plate alongside the
 // system.
-func (req *SolveRequest) assemble() (core.System, *fem.Plate, error) {
+func (req *Request) assemble() (core.System, *fem.Plate, error) {
+	if pb := req.Prebuilt; pb != nil {
+		// Zero-copy: the prebuilt system goes straight to the solver (and,
+		// when keyed, into the cache) without reassembly.
+		return pb.Sys, pb.Plate, nil
+	}
 	if req.Plate != nil {
 		p := req.Plate
 		opt := fem.Options{Mat: fem.Material{E: p.E, Nu: p.Nu, T: p.T}, Traction: p.Traction}
@@ -374,7 +503,7 @@ func (req *SolveRequest) assemble() (core.System, *fem.Plate, error) {
 	}
 	k := coo.ToCSR()
 	if !k.IsSymmetric(1e-12) {
-		return core.System{}, nil, fmt.Errorf("service: system matrix is not symmetric")
+		return core.System{}, nil, fmt.Errorf("engine: system matrix is not symmetric")
 	}
 	f := make([]float64, sy.N)
 	copy(f, sy.F)

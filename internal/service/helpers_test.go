@@ -1,0 +1,38 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func plateReq(rows, cols, m int) SolveRequest {
+	return SolveRequest{
+		Plate:  &PlateSpec{Rows: rows, Cols: cols},
+		Solver: SolverSpec{M: m, Coeffs: "least-squares", Tol: 1e-7},
+	}
+}
+
+// slowReq is a solve that reliably occupies a worker for hundreds of
+// milliseconds — much longer than a request roundtrip even on one CPU — so
+// queue-bound tests observe a busy worker: a tight residual target on a
+// larger plate with plain CG.
+func slowReq() SolveRequest {
+	return SolveRequest{
+		Plate:  &PlateSpec{Rows: 48, Cols: 48},
+		Solver: SolverSpec{M: 0, RelResidualTol: 1e-13, MaxIter: 30000},
+	}
+}
+
+// backendReq is plateReq with an explicit backend selection.
+func backendReq(rows, cols int, backend string) SolveRequest {
+	req := plateReq(rows, cols, 2)
+	req.Solver.Backend = backend
+	return req
+}
+
+func mustUnmarshal(t *testing.T, b []byte, out any) {
+	t.Helper()
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+}

@@ -94,12 +94,12 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		writeJSON(w, http.StatusAccepted, s.viewOf(job))
+		writeJSON(w, http.StatusAccepted, s.ViewOf(job))
 		return
 	}
 	select {
 	case <-job.Done():
-		writeJSON(w, http.StatusOK, s.viewOf(job))
+		writeJSON(w, http.StatusOK, s.ViewOf(job))
 	case <-r.Context().Done():
 		// The client is gone and it is the only party that ever learned
 		// this job's ID, so nobody can collect the result: propagate the
@@ -136,7 +136,7 @@ func wantsStream(r *http.Request) (stream, sse bool) {
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if stream, sse := wantsStream(r); stream {
-		job, ok := s.jobRef(id)
+		job, ok := s.JobRef(id)
 		if !ok {
 			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
 			return
@@ -154,13 +154,13 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := s.jobRef(id)
+	job, ok := s.JobRef(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
 		return
 	}
 	job.Cancel()
-	writeJSON(w, http.StatusOK, s.viewOf(job))
+	writeJSON(w, http.StatusOK, s.ViewOf(job))
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {

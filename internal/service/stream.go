@@ -36,14 +36,10 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ss
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	replay, ch, id := job.subscribe()
-	if id >= 0 {
-		defer job.unsubscribe(id)
-	}
-	s.streamSubs.Add(1)
-	defer s.streamSubs.Add(-1)
+	replay, ch, stop := s.Watch(job)
+	defer stop()
 
-	emitCase := func(ev caseEvent) bool {
+	emitCase := func(ev CaseEvent) bool {
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return false
@@ -83,7 +79,7 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ss
 			if !open {
 				// The job finished and every case event has been
 				// delivered; close with the final view.
-				emitDone(s.viewOf(job))
+				emitDone(s.ViewOf(job))
 				return
 			}
 			if !emitCase(ev) {

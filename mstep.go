@@ -2,6 +2,8 @@ package repro
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cg"
 	"repro/internal/core"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/fem"
 	"repro/internal/femachine"
 	"repro/internal/mesh"
+	"repro/internal/plan"
 	"repro/internal/service"
 	"repro/internal/sparse"
 	"repro/internal/vectorsim"
@@ -63,9 +66,91 @@ const (
 // Problem is an SPD system ready for the m-step PCG solver. Plate problems
 // carry their mesh so solutions can be mapped back to nodes and the
 // parallel-machine simulators can partition them.
+//
+// A Problem memoizes its own setup artifacts: the planner's structure
+// probe and the spectral-interval estimates the parametrized coefficient
+// criteria need (one per splitting/ω/seed combination). Repeated solves of
+// the same *Problem — through Solve, SolveBatch, or any local Solver
+// session — therefore never redo that work, even across sessions or after
+// an engine cache eviction. A Problem is safe for concurrent use.
 type Problem struct {
 	sys   core.System
 	plate *fem.Plate
+	// plateSpec is the recipe that reconstructs a plate problem over the
+	// wire (zero-valued for builder problems; see Request.Wire).
+	plateSpec PlateSpec
+	// id names the problem in local engine caches. Identity-based: two
+	// Problems never share an entry, and a Problem never collides with a
+	// declarative-spec key.
+	id string
+
+	probeOnce sync.Once
+	probeVal  plan.Probe
+
+	ivMu   sync.Mutex
+	ivMemo map[intervalMemoKey]eigen.Interval
+}
+
+// intervalMemoKey is the part of a Config the spectral interval of P⁻¹K
+// depends on: the splitting (with its relaxation parameter) and the
+// estimation seed. Coefficients, tolerances and execution knobs do not
+// perturb the estimate.
+type intervalMemoKey struct {
+	splitting core.SplittingKind
+	omega     float64
+	seed      int64
+}
+
+// problemSeq numbers Problems for cache identity.
+var problemSeq atomic.Uint64
+
+func newProblem(sys core.System, plate *fem.Plate, spec PlateSpec) *Problem {
+	return &Problem{
+		sys:       sys,
+		plate:     plate,
+		plateSpec: spec,
+		id:        fmt.Sprintf("problem-%d", problemSeq.Add(1)),
+	}
+}
+
+// probeRef returns the problem's memoized structure probe, scanning the
+// matrix pattern on first use.
+func (p *Problem) probeRef() *plan.Probe {
+	p.probeOnce.Do(func() { p.probeVal = plan.NewProbe(p.sys.K) })
+	return &p.probeVal
+}
+
+// intervalFor returns the problem's memoized spectral interval for the
+// splitting cfg selects, estimating it (power method on P⁻¹K, the same
+// estimator the engine runs) on first use.
+func (p *Problem) intervalFor(cfg core.Config) (eigen.Interval, error) {
+	omega := cfg.Omega
+	if omega == 0 {
+		omega = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	key := intervalMemoKey{splitting: cfg.Splitting, omega: omega, seed: seed}
+	p.ivMu.Lock()
+	defer p.ivMu.Unlock()
+	if iv, ok := p.ivMemo[key]; ok {
+		return iv, nil
+	}
+	sp, err := core.BuildSplitting(p.sys, cfg)
+	if err != nil {
+		return eigen.Interval{}, err
+	}
+	iv, err := eigen.EstimateInterval(sp, 0.02, seed)
+	if err != nil {
+		return eigen.Interval{}, err
+	}
+	if p.ivMemo == nil {
+		p.ivMemo = make(map[intervalMemoKey]eigen.Interval)
+	}
+	p.ivMemo[key] = iv
+	return iv, nil
 }
 
 // NewPlateProblem assembles the paper's plane-stress test problem on a
@@ -76,7 +161,7 @@ func NewPlateProblem(rows, cols int) (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Problem{sys: sys, plate: plate}, nil
+	return newProblem(sys, plate, PlateSpec{Rows: rows, Cols: cols}), nil
 }
 
 // NewPlateProblemWithMaterial assembles the plate with a custom material
@@ -86,7 +171,8 @@ func NewPlateProblemWithMaterial(rows, cols int, mat Material, traction float64)
 	if err != nil {
 		return nil, err
 	}
-	return &Problem{sys: sys, plate: plate}, nil
+	spec := PlateSpec{Rows: rows, Cols: cols, E: mat.E, Nu: mat.Nu, T: mat.T, Traction: traction}
+	return newProblem(sys, plate, spec), nil
 }
 
 // MatrixBuilder assembles a general sparse SPD system for the solver
@@ -114,15 +200,69 @@ func (b *MatrixBuilder) Problem(f []float64) (*Problem, error) {
 	if !k.IsSymmetric(1e-12) {
 		return nil, fmt.Errorf("repro: matrix is not symmetric")
 	}
-	return &Problem{sys: core.System{K: k, F: f}}, nil
+	return newProblem(core.System{K: k, F: f}, nil, PlateSpec{}), nil
 }
 
 // N returns the number of unknowns.
 func (p *Problem) N() int { return p.sys.K.Rows }
 
-// Solve runs the configured m-step PCG method.
+// throwawayLocal returns the minimal single-worker solver session backing
+// the package-level convenience wrappers: one worker, serial kernels
+// (matching the historical default of Config.Workers = 0), one cache slot
+// for the wrapped problem.
+func throwawayLocal() *Local {
+	return NewLocal(LocalConfig{
+		Workers: 1, WorkerBudget: 1, QueueDepth: 1,
+		CacheSize: 1, HistoryLimit: 1, LatencyWindow: 16,
+	})
+}
+
+// resultShell maps the job-level fields shared by every Result a job
+// yields — preconditioner, backend, interval, coefficients.
+func resultShell(jr *JobResult) Result {
+	res := Result{
+		Precond:  jr.Precond,
+		Backend:  jr.Backend,
+		Interval: eigen.Interval{Lo: jr.IntervalLo, Hi: jr.IntervalHi},
+	}
+	if jr.Alphas != nil {
+		res.Alphas = *jr.Alphas
+	}
+	return res
+}
+
+// resultFromJob reconstructs the library Result from an engine job result
+// (the full CG stats ride along on the in-process path).
+func resultFromJob(jr *JobResult) Result {
+	res := resultShell(jr)
+	res.U = jr.U
+	if jr.CGStats != nil {
+		res.Stats = *jr.CGStats
+	}
+	return res
+}
+
+// Solve runs the configured m-step PCG method. It is a thin wrapper over a
+// throwaway local solver session, so it shares the Solver pipeline —
+// planner, backends, tiling — and the problem's memoized setup (structure
+// probe, spectral interval): repeated Solve calls on one *Problem skip
+// interval estimation entirely. Long-lived callers solving many requests
+// should hold a NewLocal session instead, which additionally pools
+// preconditioners and caches across problems.
 func Solve(p *Problem, cfg Config) (Result, error) {
-	return core.Solve(p.sys, cfg)
+	l := throwawayLocal()
+	defer l.Close()
+	req := Request{Problem: p, config: &cfg}
+	job, err := l.submit(req)
+	if err != nil {
+		return Result{}, err
+	}
+	<-job.Done()
+	jr := job.Result()
+	if jr == nil {
+		return Result{}, job.Err()
+	}
+	return resultFromJob(jr), job.Err()
 }
 
 // F returns a copy of the problem's assembled right-hand side (in the
@@ -145,8 +285,44 @@ func (p *Problem) F() []float64 {
 //
 // The returned error is nil only when every column converged; partial
 // results are still returned alongside a joined per-column error.
+//
+// Like Solve, SolveBatch is a thin wrapper over a throwaway local solver
+// session sharing the problem's memoized setup; hold a NewLocal session
+// for sustained batch traffic.
 func SolveBatch(p *Problem, fs [][]float64, cfg Config) ([]Result, error) {
-	return core.SolveBatch(p.sys, fs, cfg)
+	if len(fs) == 0 {
+		return nil, fmt.Errorf("repro: batch solve needs at least one right-hand side")
+	}
+	l := throwawayLocal()
+	defer l.Close()
+	req := Request{Problem: p, Fs: fs, config: &cfg}
+	job, err := l.submit(req)
+	if err != nil {
+		return nil, err
+	}
+	<-job.Done()
+	jr := job.Result()
+	if jr == nil {
+		return nil, job.Err()
+	}
+	out := make([]Result, len(fs))
+	if len(fs) == 1 {
+		out[0] = resultFromJob(jr)
+		return out, job.Err()
+	}
+	if len(jr.Cases) < len(fs) {
+		// The job failed before its per-case table was populated.
+		return nil, job.Err()
+	}
+	for j := range fs {
+		c := jr.Cases[j]
+		out[j] = resultShell(jr)
+		out[j].U = c.U
+		if c.CGStats != nil {
+			out[j].Stats = *c.CGStats
+		}
+	}
+	return out, job.Err()
 }
 
 // NodeDisplacements maps a plate solution (Result.U, colored ordering) back
@@ -234,6 +410,8 @@ type (
 	SolverSpec = service.SolverSpec
 	// JobView is an immutable snapshot of a submitted job.
 	JobView = service.JobView
+	// JobState is the lifecycle of a submitted job.
+	JobState = service.JobState
 	// JobResult reports a finished solve, including the resolved
 	// execution plan and per-case outcomes for batches.
 	JobResult = service.JobResult
@@ -245,6 +423,14 @@ type (
 	// ServiceStats is the service health report (queue depth, cache hit
 	// rate, latency percentiles, tiles executed, stream subscribers).
 	ServiceStats = service.Stats
+)
+
+// Job lifecycle states (JobView.State).
+const (
+	JobQueued  = service.JobQueued
+	JobRunning = service.JobRunning
+	JobDone    = service.JobDone
+	JobFailed  = service.JobFailed
 )
 
 // NewService starts a solver service. Call Close on the returned service to
