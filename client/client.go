@@ -191,6 +191,26 @@ func (c *Client) Stats() (repro.ServiceStats, error) {
 	return st, nil
 }
 
+// Trace implements repro.Solver via GET /v1/jobs/{id}/trace: the job's
+// stage timeline and sampled convergence curve, during and after the
+// solve (for as long as the daemon retains the job in history).
+func (c *Client) Trace(ctx context.Context, jobID string) (repro.TraceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/trace", nil)
+	if err != nil {
+		return repro.TraceInfo{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return repro.TraceInfo{}, err
+	}
+	defer resp.Body.Close()
+	var ti repro.TraceInfo
+	if err := decodeResponse(resp, &ti); err != nil {
+		return repro.TraceInfo{}, err
+	}
+	return ti, nil
+}
+
 // Cancel aborts a job by ID (DELETE /v1/jobs/{id}); callers normally
 // cancel through SolveStream's context instead.
 func (c *Client) Cancel(ctx context.Context, id string) error {

@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark results as a machine-readable
+// artifact and diff them across commits:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | go run ./cmd/benchjson -o BENCH.json
+//
+// Every metric on a benchmark line is kept under its Go-reported unit —
+// the standard ns/op, B/op and allocs/op alongside custom b.ReportMetric
+// series like solves/s, rhs/s, iterations or simulated-s — together with
+// the goos/goarch/cpu context lines and the package each benchmark ran in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its name (sub-benchmarks keep their
+// /slash/path), the GOMAXPROCS suffix, the iteration count, and every
+// value-unit metric pair the line reported.
+type Result struct {
+	Pkg     string             `json:"pkg"`
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBench(line)
+			if ok {
+				res.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
+	}
+	return rep, nil
+}
+
+// parseBench parses one result line of the form
+//
+//	BenchmarkName/sub-8   100   123.4 ns/op   55.0 solves/s   16 B/op   2 allocs/op
+//
+// Lines that merely announce a benchmark (no fields yet) are skipped.
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Metrics: map[string]float64{}}
+	// Split the -N GOMAXPROCS suffix off the name, when present.
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], procs
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Runs = runs
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, len(res.Metrics) > 0
+}

@@ -8,6 +8,7 @@
 //
 //	solverd -addr :8080 [-workers 4] [-worker-budget 0] [-queue 256]
 //	        [-cache 64] [-tile-budget 8388608] [-drain 30s]
+//	        [-log-format text] [-debug-addr :6060]
 //
 // API:
 //
@@ -22,10 +23,25 @@
 //	                     text/event-stream" (or "?watch=1" for chunked JSON
 //	                     lines) streams each load case's result as it
 //	                     converges, ending with the finished job
+//	GET    /v1/jobs/{id}/trace
+//	                     the job's stage timeline (queue wait, assembly,
+//	                     spectral estimation, per-tile solves, …) plus its
+//	                     sampled convergence curve; replayable after the
+//	                     job finishes
 //	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/stats     queue depth, cache hit rate, p50/p99 latency,
-//	                     per-backend solve counts, tiles executed, live
-//	                     stream subscribers
+//	GET    /v1/stats     queue depth, cache hit rate, p50/p99 latency
+//	                     (overall and split by matvec backend), per-backend
+//	                     solve counts, tiles executed, live stream
+//	                     subscribers
+//	GET    /metrics      Prometheus text exposition: job/solve/cache
+//	                     counters, queue and subscriber gauges, latency and
+//	                     iteration histograms
+//
+// -log-format selects text (default, human-readable) or json structured
+// logs; every log line carries the job or request id it concerns. When
+// -debug-addr is set, a second mux on that address serves net/http/pprof
+// under /debug/pprof/ and expvar under /debug/vars — bound separately so
+// profiling endpoints are never exposed on the public API address.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains:
 // in-flight requests — including long-lived result streams — get the drain
@@ -40,10 +56,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -54,10 +72,10 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("solverd: ")
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "debug listen address serving /debug/pprof and /debug/vars (empty = disabled)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		workers    = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
 		budget     = flag.Int("worker-budget", 0, "kernel goroutines per solve (0 = GOMAXPROCS/workers)")
 		tileBudget = flag.Int("tile-budget", 0, "batch tile cache budget in bytes (0 = planner default)")
@@ -68,6 +86,18 @@ func main() {
 	)
 	flag.Parse()
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log-format (want text or json)", "got", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		WorkerBudget:    *budget,
@@ -75,7 +105,12 @@ func main() {
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		HistoryLimit:    *history,
+		Logger:          logger,
 	})
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
+	}
 
 	// Every request context derives from rootCtx: canceling it is the
 	// hard-stop lever that unblocks long-lived SSE/watch streams whose
@@ -91,23 +126,24 @@ func main() {
 	}
 
 	go func() {
-		log.Printf("listening on %s (GOMAXPROCS=%d)", *addr, runtime.GOMAXPROCS(0))
+		logger.Info("listening", "addr", *addr, "gomaxprocs", runtime.GOMAXPROCS(0))
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("listen failed", "err", err)
+			os.Exit(1)
 		}
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down: draining in-flight requests, streams and queued jobs (deadline %s)", *drain)
+	logger.Info("shutting down: draining in-flight requests, streams and queued jobs", "deadline", drain.String())
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain deadline exceeded (%v): severing remaining streams", err)
+		logger.Warn("drain deadline exceeded: severing remaining streams", "err", err)
 		hardStop() // cancels every request context; stream loops exit
 		if err := srv.Close(); err != nil {
-			log.Printf("http close: %v", err)
+			logger.Warn("http close", "err", err)
 		}
 		svc.Abort()
 	}
@@ -119,9 +155,28 @@ func main() {
 	select {
 	case <-closed:
 	case <-ctx.Done():
-		log.Print("drain deadline exceeded: aborting queued and running jobs")
+		logger.Warn("drain deadline exceeded: aborting queued and running jobs")
 		svc.Abort()
 		<-closed
 	}
-	log.Print("bye")
+	logger.Info("bye")
+}
+
+// serveDebug runs the profiling/introspection mux: net/http/pprof and
+// expvar, on their own address so they are never reachable through the
+// public API listener. Registered on a private mux (not DefaultServeMux)
+// to keep the exposure explicit.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("debug endpoints listening", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("debug listen failed", "err", err)
+	}
 }

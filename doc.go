@@ -26,7 +26,18 @@
 // Beyond one-shot solves, the Solver interface is a session that
 // amortizes setup across requests and streams per-case results: NewLocal
 // embeds the solver engine in process, and the client package drives a
-// remote solverd daemon through the identical contract. See README.md and
-// the examples/ directory (examples/quickstart, examples/embed,
-// examples/batch, examples/stream, examples/service) for the full tour.
+// remote solverd daemon through the identical contract.
+//
+// The session is observable end to end: every job records a stage
+// timeline (queue wait, cache checkout, assembly, preconditioner build,
+// planning, per-tile solves) plus a sampled per-iteration convergence
+// curve, served by Solver.Trace and GET /v1/jobs/{id}/trace; the engine
+// exposes its counters and latency/iteration histograms in Prometheus
+// text format on GET /metrics; and solverd adds structured logs and an
+// optional pprof/expvar debug listener. The telemetry tap is
+// allocation-free on the solve path.
+//
+// See README.md and the examples/ directory (examples/quickstart,
+// examples/embed, examples/batch, examples/stream, examples/service,
+// examples/observe) for the full tour.
 package repro

@@ -1,0 +1,124 @@
+// Observability example: serve the solver over HTTP, run a batched solve
+// through the SDK while streaming per-case results, then pull the job's
+// stage-timeline trace and the Prometheus metrics the daemon exposes —
+// and render the traced convergence curve as ASCII.
+//
+// This is the full telemetry loop a deployment gets for free:
+//
+//	GET /metrics              — Prometheus text exposition
+//	GET /v1/jobs/{id}/trace   — per-job stage timeline + convergence samples
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro"
+	"repro/client"
+)
+
+func main() {
+	// An in-process daemon: the same handler cmd/solverd serves.
+	svc := repro.NewService(repro.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // closed with the listener at exit
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A batched request: one 30×30 plate, six traction load cases solved
+	// as one job against one assembled matrix.
+	req := repro.Request{
+		Plate: &repro.PlateSpec{
+			Rows: 30, Cols: 30,
+			Tractions: []float64{1, 0.5, 2, -1, 0.25, 4},
+		},
+		Solver:       repro.SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-8},
+		OmitSolution: true,
+	}
+
+	cl := client.New(base)
+	defer cl.Close()
+
+	// Stream the solve; the terminal event carries the job id the trace
+	// and metrics endpoints key on.
+	var jobID string
+	err = cl.SolveStream(context.Background(), req, func(ev repro.CaseEvent) {
+		if ev.Done != nil {
+			jobID = ev.Done.ID
+			fmt.Printf("job %s: %s, %d cases\n", ev.Done.ID, ev.Done.State, ev.Done.CasesDone)
+			return
+		}
+		fmt.Printf("  case %d converged in %d iterations\n", ev.Case, ev.Result.Iterations)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The trace replays after completion: every pipeline stage with its
+	// wall time and the worker that ran it.
+	ti, err := cl.Trace(context.Background(), jobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstage timeline (%.1f ms total):\n", ti.TotalSeconds*1e3)
+	for _, sp := range ti.Spans {
+		extra := ""
+		if sp.Iterations > 0 {
+			extra = fmt.Sprintf("  %d iterations", sp.Iterations)
+		}
+		fmt.Printf("  %-18s %8.3f ms  worker %2d%s\n",
+			sp.Name, sp.DurationSeconds*1e3, sp.Worker, extra)
+	}
+
+	// The traced convergence samples reconstruct each case's curve; render
+	// the hard case (full traction) as log10(‖u_diff‖∞) bars.
+	fmt.Println("\nconvergence, case 0 (log10 udiff, one row per sampled iteration):")
+	for _, s := range ti.Convergence {
+		if s.Case != 0 || s.UDiff <= 0 {
+			continue
+		}
+		mag := -math.Log10(s.UDiff) // 1e-3 → 3 — deeper is better
+		bar := strings.Repeat("#", int(math.Max(1, math.Min(mag*4, 60))))
+		fmt.Printf("  iter %3d  %-60s %.1e\n", s.Iter, bar, s.UDiff)
+	}
+	if ti.ConvergenceStride > 1 {
+		fmt.Printf("  (samples decimated to every %d-th iteration)\n", ti.ConvergenceStride)
+	}
+
+	// Finally, the scrape endpoint every Prometheus can consume; show the
+	// solver's own families.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nselected /metrics:")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, prefix := range []string{
+			"repro_jobs_total", "repro_solves_total",
+			"repro_cache_hits_total", "repro_cache_misses_total",
+			"repro_tiles_executed_total", "repro_cg_iterations_total",
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Println("  " + line)
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -67,6 +67,23 @@ type Options struct {
 	// block is final and safe to read inside the callback. Every column
 	// fires exactly once per solve. Scalar solves ignore it.
 	OnColumnDone func(col int, stats ColumnStats)
+	// Observer, when non-nil, receives one convergence sample per iteration
+	// — per active column for block solves — from the solve hot loop. It is
+	// the telemetry tap convergence curves are captured through; unlike
+	// OnIteration it cannot stop the solve, and implementations must not
+	// allocate or block (the steady-state solve path stays allocation-free
+	// with an Observer attached — see the AllocsPerRun guards).
+	Observer Observer
+}
+
+// Observer receives per-iteration convergence telemetry. col is the
+// right-hand-side index (0 for scalar solves), iter the 1-based iteration
+// count for that column, udiff the paper's stopping quantity
+// ‖u^{k+1}−u^k‖_∞ and relres the relative residual ‖r‖₂/‖f‖₂.
+// obs.ConvergenceLog is the standard implementation; the interface lives
+// here so the solver kernels depend on nothing above them.
+type Observer interface {
+	ObserveIteration(col, iter int, udiff, relres float64)
 }
 
 // Stats reports what a solve did.

@@ -156,9 +156,10 @@ func SolveBlock(k sparse.Operator, f *vec.Multi, m precond.Preconditioner, opt O
 // u receives the solutions (always starting from the zero iterate;
 // opt.X0 is rejected). opt.History, opt.OnIteration and
 // opt.VerifyResidual are scalar-solve options and are ignored here;
-// opt.Ctx and opt.OnColumnDone are honored — cancellation stops at the
-// next iteration boundary, and each column's retirement fires the hook
-// while the rest of the block keeps iterating. With a
+// opt.Ctx, opt.OnColumnDone and opt.Observer are honored — cancellation
+// stops at the next iteration boundary, each column's retirement fires the
+// hook while the rest of the block keeps iterating, and the observer
+// samples every active column once per block iteration. With a
 // warm workspace and Workers ≤ 1 the steady state performs no heap
 // allocation; the returned BlockStats.Cols/ColErrs alias the workspace, so
 // copy them before its next solve if they must survive it.
@@ -323,8 +324,12 @@ func SolveBlockInto(u *vec.Multi, k sparse.Operator, f *vec.Multi, m precond.Pre
 		}
 		vec.ParMultiAxpy(ws.beta[:act], &ws.kpv, &ws.rv, w)
 		for slot := 0; slot < act; slot++ {
-			c := &ws.cols[ws.perm[slot]]
+			j := ws.perm[slot]
+			c := &ws.cols[j]
 			c.FinalRelRes = vec.Norm2(ws.rv.Col(slot)) / ws.normF[slot]
+			if opt.Observer != nil {
+				opt.Observer.ObserveIteration(j, c.Iterations, c.FinalUDiff, c.FinalRelRes)
+			}
 		}
 		// Per-column stopping tests; converged columns deflate out.
 		for slot := act - 1; slot >= 0; slot-- {

@@ -164,6 +164,9 @@ func SolveInto(u []float64, k sparse.Operator, f []float64, m precond.Preconditi
 				st.UDiffHistory = append(st.UDiffHistory, udiff)
 				st.ResidualHistory = append(st.ResidualHistory, relres)
 			}
+			if opt.Observer != nil {
+				opt.Observer.ObserveIteration(0, st.Iterations, udiff, relres)
+			}
 			if (opt.Tol > 0 && udiff < opt.Tol) || (opt.RelResidualTol > 0 && relres < opt.RelResidualTol) {
 				st.Converged = true
 				reterr = nil

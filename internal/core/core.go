@@ -169,6 +169,22 @@ func BuildSplitting(sys System, cfg Config) (splitting.Splitting, error) {
 	}
 }
 
+// IntervalFor returns the spectral interval the configuration's
+// parametrized coefficients run on: the pinned cfg.Interval when set, a
+// power-method estimate on the splitting otherwise. It is the expensive
+// half of coefficient construction, split out so instrumented callers can
+// time spectral estimation as its own stage.
+func IntervalFor(sp splitting.Splitting, cfg Config) (eigen.Interval, error) {
+	if cfg.Interval != nil {
+		return *cfg.Interval, nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return eigen.EstimateInterval(sp, 0.02, seed)
+}
+
 // BuildCoefficients computes the α for the configured criterion, estimating
 // the spectral interval when necessary.
 func BuildCoefficients(sp splitting.Splitting, cfg Config) (poly.Alphas, eigen.Interval, error) {
@@ -178,25 +194,14 @@ func BuildCoefficients(sp splitting.Splitting, cfg Config) (poly.Alphas, eigen.I
 	if cfg.Coeffs == Unparametrized {
 		return poly.Ones(cfg.M), eigen.Interval{}, nil
 	}
-	iv := eigen.Interval{}
-	if cfg.Interval != nil {
-		iv = *cfg.Interval
-	} else {
-		seed := cfg.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		est, err := eigen.EstimateInterval(sp, 0.02, seed)
-		if err != nil {
-			return poly.Alphas{}, eigen.Interval{}, err
-		}
-		iv = est
+	iv, err := IntervalFor(sp, cfg)
+	if err != nil {
+		return poly.Alphas{}, eigen.Interval{}, err
 	}
 	if err := iv.Validate(); err != nil {
 		return poly.Alphas{}, iv, err
 	}
 	var a poly.Alphas
-	var err error
 	switch cfg.Coeffs {
 	case LeastSquaresCoeffs:
 		a, err = poly.LeastSquares(cfg.M, iv.Lo, iv.Hi)
@@ -219,16 +224,45 @@ func BuildCoefficients(sp splitting.Splitting, cfg Config) (poly.Alphas, eigen.I
 
 // BuildPreconditioner assembles the configured preconditioner.
 func BuildPreconditioner(sys System, cfg Config) (precond.Preconditioner, poly.Alphas, eigen.Interval, error) {
+	return BuildPreconditionerPhased(sys, cfg, nil)
+}
+
+// BuildPreconditionerPhased is BuildPreconditioner with stage timing
+// hooks: phase(name) is called as each construction stage begins —
+// "splitting_build", "spectral_estimate" (only when an interval must be
+// estimated), "precond_build" — and the returned func as it ends. A nil
+// phase skips all instrumentation; the engine passes its span tracer so a
+// job's trace shows where preconditioner setup time went.
+func BuildPreconditionerPhased(sys System, cfg Config, phase func(name string) (end func())) (precond.Preconditioner, poly.Alphas, eigen.Interval, error) {
+	if phase == nil {
+		phase = func(string) func() { return func() {} }
+	}
 	if cfg.M == 0 {
 		return precond.Identity{}, poly.Alphas{}, eigen.Interval{}, nil
 	}
 	if cfg.M < 0 {
 		return nil, poly.Alphas{}, eigen.Interval{}, fmt.Errorf("core: negative step count %d", cfg.M)
 	}
+	end := phase("splitting_build")
 	sp, err := BuildSplitting(sys, cfg)
+	end()
 	if err != nil {
 		return nil, poly.Alphas{}, eigen.Interval{}, err
 	}
+	// Pin the interval before BuildCoefficients so spectral estimation —
+	// the dominant setup cost for parametrized coefficients — times as its
+	// own stage (BuildCoefficients then finds it pre-resolved).
+	if cfg.Coeffs != Unparametrized && cfg.Interval == nil {
+		end = phase("spectral_estimate")
+		iv, err := IntervalFor(sp, cfg)
+		end()
+		if err != nil {
+			return nil, poly.Alphas{}, eigen.Interval{}, err
+		}
+		cfg.Interval = &iv
+	}
+	end = phase("precond_build")
+	defer end()
 	a, iv, err := BuildCoefficients(sp, cfg)
 	if err != nil {
 		return nil, a, iv, err

@@ -229,7 +229,7 @@ func TestQuantileNearestRank(t *testing.T) {
 func TestCacheCheckoutPlumbsRebuildError(t *testing.T) {
 	req := plateReq(6, 6, 2)
 	e := &cacheEntry{key: req.cacheKey()}
-	e.build(&req)
+	e.build(&req, nil)
 	if e.err != nil {
 		t.Fatal(e.err)
 	}

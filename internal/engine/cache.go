@@ -54,9 +54,19 @@ type cacheEntry struct {
 
 // build does the expensive setup exactly once per entry: plate assembly (or
 // general-system conversion), splitting construction, interval estimation,
-// and the first preconditioner.
-func (e *cacheEntry) build(req *Request) {
+// and the first preconditioner. phase, when non-nil, brackets each stage
+// ("assemble", then core's build phases) — the job that loses the cache
+// race and ends up building records the stages on its own trace; planning
+// probes pass nil.
+func (e *cacheEntry) build(req *Request, phase func(name string) (end func())) {
+	var end func()
+	if phase != nil {
+		end = phase("assemble")
+	}
 	sys, plate, err := req.assemble()
+	if end != nil {
+		end()
+	}
 	if err != nil {
 		e.err = err
 		return
@@ -66,7 +76,7 @@ func (e *cacheEntry) build(req *Request) {
 		e.err = err
 		return
 	}
-	p, alphas, iv, err := core.BuildPreconditioner(sys, cfg)
+	p, alphas, iv, err := core.BuildPreconditionerPhased(sys, cfg, phase)
 	if err != nil {
 		e.err = err
 		return

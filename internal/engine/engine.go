@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/poly"
 	"repro/internal/precond"
@@ -49,6 +51,11 @@ type Config struct {
 	HistoryLimit int
 	// LatencyWindow sizes the latency sample for p50/p99 (default 1024).
 	LatencyWindow int
+	// Logger receives structured job-lifecycle logs (submitted, started,
+	// finished, failed) with job ids attached. nil discards them — the
+	// engine never logs to a default destination a library caller didn't
+	// choose.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,21 +91,40 @@ type Engine struct {
 	queue   chan *Job
 	cache   *cache
 	lat     *latencyRing
+	logger  *slog.Logger
+
+	// latByBackend splits the latency window by resolved matvec backend
+	// (keys "csr" and "dia"), feeding the per-backend quantiles in Stats.
+	latByBackend map[string]*latencyRing
+
+	// metrics is the engine's instrument registry (GET /metrics); the
+	// histogram instruments below are registered once at construction and
+	// observed from the hot path without further registry lookups.
+	metrics      *obs.Registry
+	hQueueWait   *obs.Histogram
+	hJobDuration map[string]*obs.Histogram // by backend label
+	hCaseIters   *obs.Histogram
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	finished []string // finished job IDs in completion order, for eviction
 	closed   bool
 
-	nextID        atomic.Int64
-	running       atomic.Int64
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	totalIters    atomic.Int64
-	solvesCSR     atomic.Int64
-	solvesDIA     atomic.Int64
-	tilesExecuted atomic.Int64
-	streamSubs    atomic.Int64 // current streaming subscribers (gauge)
+	nextID atomic.Int64
+
+	// cmu guards the service counters below as one unit, so a Stats
+	// snapshot reads them in a single consistent view — a job can no longer
+	// appear in jobs_done while its iterations are still missing from
+	// total_iterations, which the old field-by-field atomics allowed.
+	cmu           sync.Mutex
+	running       int64
+	jobsDone      int64
+	jobsFailed    int64
+	totalIters    int64
+	solvesCSR     int64
+	solvesDIA     int64
+	tilesExecuted int64
+	streamSubs    int64 // current streaming subscribers (gauge)
 
 	started time.Time
 	wg      sync.WaitGroup
@@ -108,18 +134,28 @@ type Engine struct {
 // it.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Engine{
 		cfg:     cfg,
 		planner: plan.Planner{BudgetBytes: cfg.TileBudgetBytes},
 		queue:   make(chan *Job, cfg.QueueDepth),
 		cache:   newCache(cfg.CacheSize),
 		lat:     newLatencyRing(cfg.LatencyWindow),
+		logger:  logger,
+		latByBackend: map[string]*latencyRing{
+			"csr": newLatencyRing(cfg.LatencyWindow),
+			"dia": newLatencyRing(cfg.LatencyWindow),
+		},
 		jobs:    make(map[string]*Job),
 		started: time.Now(),
 	}
+	s.registerMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -147,14 +183,22 @@ func (s *Engine) Submit(req Request) (*Job, error) {
 		return nil, ErrClosed
 	}
 	job.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	// The observability record exists before the job is reachable from the
+	// queue or the lookup map, so workers and trace readers never see a
+	// partially-instrumented job.
+	job.trace = obs.NewTrace(job.id)
+	job.conv = obs.NewConvergenceLog(0)
+	job.queueSpan = job.trace.Start("queue")
 	select {
 	case s.queue <- job:
 		s.jobs[job.id] = job
 		s.mu.Unlock()
+		s.logger.Info("job submitted", "job", job.id, "rhs", req.batchSize())
 		return job, nil
 	default:
 		s.mu.Unlock()
 		cancel()
+		s.logger.Warn("job rejected: queue full", "queue_cap", s.cfg.QueueDepth)
 		return nil, ErrQueueFull
 	}
 }
@@ -214,7 +258,7 @@ func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 	}
 	if probe == nil {
 		if entry, ok := s.cache.peek(req.cacheKey()); ok {
-			entry.once.Do(func() { entry.build(&req) })
+			entry.once.Do(func() { entry.build(&req, nil) })
 			if entry.err == nil {
 				probe = entry.structureProbe()
 			}
@@ -305,42 +349,57 @@ func (s *Engine) JobRef(id string) (*Job, bool) {
 // solver's streaming API.
 func (s *Engine) Watch(job *Job) (replay []CaseEvent, ch <-chan CaseEvent, stop func()) {
 	replay, ch, id := job.subscribe()
-	s.streamSubs.Add(1)
+	s.addStreamSubs(1)
 	var once sync.Once
 	stop = func() {
 		once.Do(func() {
 			if id >= 0 {
 				job.unsubscribe(id)
 			}
-			s.streamSubs.Add(-1)
+			s.addStreamSubs(-1)
 		})
 	}
 	return replay, ch, stop
 }
 
-// Stats snapshots the service health counters.
+func (s *Engine) addStreamSubs(d int64) {
+	s.cmu.Lock()
+	s.streamSubs += d
+	s.cmu.Unlock()
+}
+
+// Stats snapshots the service health counters. The job/solve/iteration
+// counters are read under one lock, so the snapshot is internally
+// consistent (e.g. total_iterations always accounts for every job counted
+// in jobs_done).
 func (s *Engine) Stats() Stats {
 	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
 	st := Stats{
-		Workers:           s.cfg.Workers,
-		WorkerBudget:      s.cfg.WorkerBudget,
-		QueueDepth:        len(s.queue),
-		QueueCap:          s.cfg.QueueDepth,
-		Running:           int(s.running.Load()),
-		JobsDone:          s.jobsDone.Load(),
-		JobsFailed:        s.jobsFailed.Load(),
-		CacheHits:         hits,
-		CacheMisses:       misses,
-		CacheEntries:      s.cache.len(),
-		TotalIterations:   s.totalIters.Load(),
-		SolvesCSR:         s.solvesCSR.Load(),
-		SolvesDIA:         s.solvesDIA.Load(),
-		TilesExecuted:     s.tilesExecuted.Load(),
-		StreamSubscribers: s.streamSubs.Load(),
-		LatencyP50:        s.lat.quantile(0.50),
-		LatencyP99:        s.lat.quantile(0.99),
-		UptimeSeconds:     time.Since(s.started).Seconds(),
+		Workers:       s.cfg.Workers,
+		WorkerBudget:  s.cfg.WorkerBudget,
+		QueueDepth:    len(s.queue),
+		QueueCap:      s.cfg.QueueDepth,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		CacheEntries:  s.cache.len(),
+		LatencyP50:    s.lat.quantile(0.50),
+		LatencyP99:    s.lat.quantile(0.99),
+		LatencyP50CSR: s.latByBackend["csr"].quantile(0.50),
+		LatencyP99CSR: s.latByBackend["csr"].quantile(0.99),
+		LatencyP50DIA: s.latByBackend["dia"].quantile(0.50),
+		LatencyP99DIA: s.latByBackend["dia"].quantile(0.99),
+		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
+	s.cmu.Lock()
+	st.Running = int(s.running)
+	st.JobsDone = s.jobsDone
+	st.JobsFailed = s.jobsFailed
+	st.TotalIterations = s.totalIters
+	st.SolvesCSR = s.solvesCSR
+	st.SolvesDIA = s.solvesDIA
+	st.TilesExecuted = s.tilesExecuted
+	st.StreamSubscribers = s.streamSubs
+	s.cmu.Unlock()
 	if total := hits + misses; total > 0 {
 		st.CacheHitRate = float64(hits) / float64(total)
 	}
@@ -381,19 +440,25 @@ func (s *Engine) Close() {
 
 // worker owns one reusable scalar CG workspace and one block workspace and
 // processes jobs until the queue closes: the steady-state solve path
-// allocates only the per-job solution vector(s).
-func (s *Engine) worker() {
+// allocates only the per-job solution vector(s). id names the worker in job
+// traces and logs.
+func (s *Engine) worker(id int) {
 	defer s.wg.Done()
 	ws := cg.NewWorkspace(0)
 	bws := cg.NewBlockWorkspace(0, 0)
 	for job := range s.queue {
+		job.queueSpan.End()
+		s.hQueueWait.Observe(time.Since(job.enqueuedAt).Seconds())
 		if cerr := job.ctx.Err(); cerr != nil {
-			// Canceled while queued: skip execution entirely.
+			// Canceled while queued: skip execution entirely. The trace
+			// still ends with a terminal cancelled span, so a cancelled
+			// job's timeline is replayable like any other.
+			job.trace.Start("cancelled").SetWorker(id).SetAttr("reason", cerr.Error()).End()
 			s.transition(job, JobRunning, nil, nil)
 			s.transition(job, JobFailed, nil, fmt.Errorf("engine: job canceled while queued: %w", cerr))
 			continue
 		}
-		s.runJob(job, ws, bws)
+		s.runJob(job, ws, bws, id)
 	}
 }
 
@@ -405,6 +470,9 @@ func (s *Engine) transition(job *Job, state JobState, result *JobResult, err err
 	case JobRunning:
 		job.startedAt = now
 	case JobDone, JobFailed:
+		if result != nil {
+			result.JobID = job.id
+		}
 		job.finishedAt = now
 		job.result = result
 		job.err = err
@@ -416,12 +484,30 @@ func (s *Engine) transition(job *Job, state JobState, result *JobResult, err err
 	}
 	s.mu.Unlock()
 	if state == JobDone || state == JobFailed {
+		lat := now.Sub(job.enqueuedAt).Seconds()
+		s.cmu.Lock()
 		if state == JobDone {
-			s.jobsDone.Add(1)
+			s.jobsDone++
 		} else {
-			s.jobsFailed.Add(1)
+			s.jobsFailed++
 		}
-		s.lat.add(now.Sub(job.enqueuedAt).Seconds())
+		s.cmu.Unlock()
+		s.lat.add(lat)
+		backend := ""
+		if result != nil {
+			backend = result.Backend
+		}
+		if ring, ok := s.latByBackend[backend]; ok {
+			ring.add(lat)
+			s.hJobDuration[backend].Observe(lat)
+		}
+		job.trace.Finish()
+		if state == JobDone {
+			s.logger.Info("job done", "job", job.id, "backend", backend,
+				"latency_seconds", lat, "iterations", result.Iterations)
+		} else {
+			s.logger.Warn("job failed", "job", job.id, "latency_seconds", lat, "err", err)
+		}
 		job.cancel() // release the context's resources
 		close(job.done)
 		// End subscriptions last: by now the final result is published, so
@@ -437,10 +523,17 @@ func (s *Engine) transition(job *Job, state JobState, result *JobResult, err err
 // the moment its column retires. A batched request runs as one job against
 // one cache entry and one preconditioner checkout; every block traversal
 // is shared across the tile's columns.
-func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
-	s.running.Add(1)
-	defer s.running.Add(-1)
+func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, workerID int) {
+	s.addRunning(1)
+	defer s.addRunning(-1)
 	s.transition(job, JobRunning, nil, nil)
+	s.logger.Debug("job started", "job", job.id, "worker", workerID)
+
+	// All stage spans are leaves — no span nests inside another — so the
+	// trace's span durations sum to at most the job's wall time.
+	phase := func(name string) func() {
+		return job.trace.Start(name).SetWorker(workerID).End
+	}
 
 	cfg, err := job.req.coreConfig()
 	if err != nil {
@@ -463,8 +556,28 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		// reuses the assembled system and estimated interval.
 		var existed bool
 		entry, existed = s.cache.get(key)
-		entry.once.Do(func() { entry.build(&job.req) })
+		// cache_wait covers entry acquisition and the preconditioner
+		// checkout. If this job loses the build race, the build's stage
+		// spans (assemble, splitting_build, …) land on this trace as their
+		// own leaves: the first one closes cache_wait so the spans never
+		// overlap, and a warm hit keeps cache_wait as the only span.
+		waitSp := job.trace.Start("cache_wait").SetWorker(workerID).SetAttr("hit", existed)
+		waitEnded := false
+		endWait := func() {
+			if !waitEnded {
+				waitEnded = true
+				waitSp.End()
+			}
+		}
+		entry.once.Do(func() {
+			waitSp.SetAttr("built", true)
+			entry.build(&job.req, func(stage string) func() {
+				endWait()
+				return phase(stage)
+			})
+		})
 		if entry.err != nil {
+			endWait()
 			s.cache.drop(entry)
 			s.transition(job, JobFailed, nil, entry.err)
 			return
@@ -475,18 +588,21 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		sys, plate, iv, alphas, name = entry.sys, entry.plate, entry.interval, entry.alphas, entry.precond
 		var cerr error
 		pc, cerr = entry.checkout()
+		endWait()
 		if cerr != nil {
 			s.transition(job, JobFailed, nil, fmt.Errorf("engine: preconditioner rebuild failed for %s: %w", key, cerr))
 			return
 		}
 		defer entry.release(pc)
 	} else {
+		end := phase("assemble")
 		sys, plate, err = job.req.assemble()
+		end()
 		if err != nil {
 			s.transition(job, JobFailed, nil, err)
 			return
 		}
-		pc, alphas, iv, err = core.BuildPreconditioner(sys, cfg)
+		pc, alphas, iv, err = core.BuildPreconditionerPhased(sys, cfg, phase)
 		if err != nil {
 			s.transition(job, JobFailed, nil, err)
 			return
@@ -504,7 +620,9 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 	// structure, batch width, budgets — becomes an execution decision. On
 	// the cached path the structure probe is memoized in the entry (seeded
 	// from the caller's own memo for prebuilt problems), so repeated solves
-	// of a cached problem never rescan the pattern.
+	// of a cached problem never rescan the pattern. The plan span carries
+	// the full decision and its structural evidence as attributes.
+	planSp := job.trace.Start("plan").SetWorker(workerID)
 	var probe *plan.Probe
 	switch {
 	case entry != nil:
@@ -522,11 +640,17 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		M:       cfg.M,
 		Workers: s.workersFor(cfg),
 	})
+	for k, v := range pl.Attrs() {
+		planSp.SetAttr(k, v)
+	}
+	planSp.SetAttr("probe", probe.Attrs())
+	planSp.End()
 
 	// Materialize the planned backend's operator (the DIA conversion is
 	// cached next to the CSR on the cached path).
 	var op sparse.Operator = sys.K
 	if pl.Backend == core.BackendDIA {
+		end := phase("dia_convert")
 		var dia *sparse.DIA
 		var derr error
 		if entry != nil {
@@ -534,15 +658,14 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		} else {
 			dia, derr = sparse.NewDIAFromCSR(sys.K)
 		}
+		end()
 		if derr != nil {
 			s.transition(job, JobFailed, nil, derr)
 			return
 		}
 		op = dia
-		s.solvesDIA.Add(1)
-	} else {
-		s.solvesCSR.Add(1)
 	}
+	s.countSolve(pl.Backend)
 
 	opts := cg.Options{
 		Tol:            cfg.Tol,
@@ -560,10 +683,11 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 	job.initCases(len(fs))
 	var res *JobResult
 	if len(fs) > 1 {
-		res, err = s.runTiles(job, op, plate, pc, fs, pl, opts, bws)
+		res, err = s.runTiles(job, op, plate, pc, fs, pl, opts, bws, workerID)
 	} else {
-		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws)
+		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws, workerID)
 	}
+	emitEnd := phase("emit")
 	res.Precond = name
 	res.Backend = pl.Backend.String()
 	info := planInfo(pl)
@@ -573,21 +697,56 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace) {
 		a := alphas
 		res.Alphas = &a
 	}
+	emitEnd()
 	if err != nil {
+		if cerr := job.ctx.Err(); cerr != nil {
+			// The trace of a cancelled job ends with a terminal marker span,
+			// so a replayed timeline shows where the solve was cut off.
+			job.trace.Start("cancelled").SetWorker(workerID).SetAttr("reason", cerr.Error()).End()
+		}
 		s.transition(job, JobFailed, res, err)
 		return
 	}
 	s.transition(job, JobDone, res, nil)
 }
 
+// addRunning adjusts the running-jobs gauge.
+func (s *Engine) addRunning(d int64) {
+	s.cmu.Lock()
+	s.running += d
+	s.cmu.Unlock()
+}
+
+// countSolve attributes one job to the matvec backend it resolved to.
+func (s *Engine) countSolve(b plan.Backend) {
+	s.cmu.Lock()
+	if b == plan.BackendDIA {
+		s.solvesDIA++
+	} else {
+		s.solvesCSR++
+	}
+	s.cmu.Unlock()
+}
+
+// countTile accounts one executed tile and its block iterations.
+func (s *Engine) countTile(iters int) {
+	s.cmu.Lock()
+	s.tilesExecuted++
+	s.totalIters += int64(iters)
+	s.cmu.Unlock()
+}
+
 // runScalar is the single-RHS solve path (a one-column plan: one tile, one
 // case event). op is the backend-resolved form of the system matrix.
-func (s *Engine) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace) (*JobResult, error) {
+func (s *Engine) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, f []float64, opts cg.Options, ws *cg.Workspace, workerID int) (*JobResult, error) {
 	n, _ := op.Dims()
 	u := make([]float64, n)
+	opts.Observer = job.conv
+	sp := job.trace.Start("solve").SetWorker(workerID)
 	st, err := cg.SolveInto(u, op, f, pc, opts, ws)
-	s.totalIters.Add(int64(st.Iterations))
-	s.tilesExecuted.Add(1)
+	sp.SetIterations(st.Iterations).SetAttr("converged", st.Converged).End()
+	s.countTile(st.Iterations)
+	s.hCaseIters.Observe(float64(st.Iterations))
 
 	res := &JobResult{
 		Converged:     st.Converged,
@@ -628,7 +787,7 @@ func (s *Engine) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc pr
 // result immediately via the deflation hook, so early-converging load
 // cases are visible to stream subscribers while the slowest column is
 // still iterating. op is the backend-resolved form of the system matrix.
-func (s *Engine) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, pl plan.Plan, opts cg.Options, bws *cg.BlockWorkspace) (*JobResult, error) {
+func (s *Engine) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc precond.Preconditioner, fs [][]float64, pl plan.Plan, opts cg.Options, bws *cg.BlockWorkspace, workerID int) (*JobResult, error) {
 	n, _ := op.Dims()
 	res := &JobResult{RHS: len(fs), Converged: true}
 	var errs []error
@@ -651,7 +810,12 @@ func (s *Engine) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc pre
 		}
 		u := vec.NewMulti(n, len(tileCols))
 		topts := opts
+		// The convergence observer sees tile-local column indices; remap
+		// them to the job's case numbering so a multi-tile batch's curves
+		// stay distinguishable.
+		topts.Observer = tileObserver{log: job.conv, cases: tileCols}
 		topts.OnColumnDone = func(col int, cs cg.ColumnStats) {
+			s.hCaseIters.Observe(float64(cs.Stats.Iterations))
 			colStats := cs.Stats
 			cr := CaseResult{
 				Converged:   cs.Stats.Converged,
@@ -669,9 +833,13 @@ func (s *Engine) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc pre
 			}
 			job.caseFinished(tileCols[col], cr)
 		}
+		sp := job.trace.Start("tile").SetWorker(workerID).
+			SetAttr("tile", ti).
+			SetAttr("case_first", tileCols[0]).
+			SetAttr("case_last", tileCols[len(tileCols)-1])
 		st, err := cg.SolveBlockInto(u, op, vec.MultiFromCols(cols), pc, topts, bws)
-		s.totalIters.Add(int64(st.Iterations))
-		s.tilesExecuted.Add(1)
+		sp.SetIterations(st.Iterations).End()
+		s.countTile(st.Iterations)
 		res.Iterations += st.Iterations
 		res.MatVecs += st.SpMMs
 		res.PrecondApps += st.BlockPrecondApps

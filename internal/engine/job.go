@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cg"
+	"repro/internal/obs"
 	"repro/internal/poly"
 )
 
@@ -37,6 +38,9 @@ type PlanInfo struct {
 
 // JobResult reports a finished solve.
 type JobResult struct {
+	// JobID is the id of the job that produced this result, the key for the
+	// trace endpoint (GET /v1/jobs/{id}/trace) after the solve completes.
+	JobID         string  `json:"job_id,omitempty"`
 	Converged     bool    `json:"converged"`
 	Iterations    int     `json:"iterations"`
 	MatVecs       int     `json:"matvecs"`
@@ -140,6 +144,15 @@ type Job struct {
 	enqueuedAt time.Time
 	startedAt  time.Time
 	finishedAt time.Time
+
+	// trace, conv and queueSpan are the job's observability record: the
+	// stage timeline, the per-iteration convergence sampler the solve's
+	// Observer feeds, and the open "queue" span the dequeuing worker closes.
+	// All three are created by Submit before the job becomes visible, so
+	// they are safe to read without a lock for the job's whole life.
+	trace     *obs.Trace
+	conv      *obs.ConvergenceLog
+	queueSpan *obs.Span
 
 	// Streaming state.
 	smu      sync.Mutex

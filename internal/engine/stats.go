@@ -92,5 +92,14 @@ type Stats struct {
 	LatencyP50 float64 `json:"latency_p50_seconds"`
 	LatencyP99 float64 `json:"latency_p99_seconds"`
 
+	// LatencyP50CSR/…DIA split the latency quantiles by the matvec backend
+	// the job resolved to (jobs that failed before planning count in
+	// neither): the per-backend view the planner's auto-selection is judged
+	// by. 0 until a job has finished on that backend.
+	LatencyP50CSR float64 `json:"latency_p50_csr_seconds"`
+	LatencyP99CSR float64 `json:"latency_p99_csr_seconds"`
+	LatencyP50DIA float64 `json:"latency_p50_dia_seconds"`
+	LatencyP99DIA float64 `json:"latency_p99_dia_seconds"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

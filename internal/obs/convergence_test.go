@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestConvergenceLogRecordsAll: under capacity, every sample is kept at
+// stride 1 in observation order.
+func TestConvergenceLogRecordsAll(t *testing.T) {
+	l := NewConvergenceLog(64)
+	for i := 1; i <= 10; i++ {
+		l.ObserveIteration(0, i, 1.0/float64(i), 0.5/float64(i))
+	}
+	s := l.Samples()
+	if len(s) != 10 {
+		t.Fatalf("samples = %d, want 10", len(s))
+	}
+	if l.Stride() != 1 {
+		t.Fatalf("stride = %d, want 1", l.Stride())
+	}
+	for i, smp := range s {
+		if smp.Iter != i+1 || smp.Case != 0 {
+			t.Fatalf("sample[%d] = %+v", i, smp)
+		}
+	}
+}
+
+// TestConvergenceLogDecimates: a run longer than capacity doubles the
+// stride and stays within the fixed buffer while keeping the curve's span —
+// first iterations thin out, the tail keeps arriving.
+func TestConvergenceLogDecimates(t *testing.T) {
+	l := NewConvergenceLog(16)
+	const iters = 200
+	for i := 1; i <= iters; i++ {
+		l.ObserveIteration(0, i, 0, 0)
+	}
+	s := l.Samples()
+	if len(s) > 16 {
+		t.Fatalf("log exceeded capacity: %d", len(s))
+	}
+	stride := l.Stride()
+	if stride < 2 {
+		t.Fatalf("stride = %d, expected decimation", stride)
+	}
+	for _, smp := range s {
+		if smp.Iter%stride != 0 {
+			t.Fatalf("sample iter %d off stride %d", smp.Iter, stride)
+		}
+	}
+	// The tail of the run survived decimation.
+	last := s[len(s)-1]
+	if last.Iter < iters-stride {
+		t.Fatalf("last kept iter %d too far from %d (stride %d)", last.Iter, iters, stride)
+	}
+}
+
+// TestConvergenceLogMultiCase: block solves interleave cases; each case's
+// samples keep their own iteration sequence.
+func TestConvergenceLogMultiCase(t *testing.T) {
+	l := NewConvergenceLog(256)
+	for iter := 1; iter <= 20; iter++ {
+		for c := 0; c < 4; c++ {
+			l.ObserveIteration(c, iter, 0, 0)
+		}
+	}
+	perCase := map[int][]int{}
+	for _, smp := range l.Samples() {
+		perCase[smp.Case] = append(perCase[smp.Case], smp.Iter)
+	}
+	if len(perCase) != 4 {
+		t.Fatalf("cases = %d, want 4", len(perCase))
+	}
+	for c, iters := range perCase {
+		if len(iters) != 20 {
+			t.Fatalf("case %d samples = %d, want 20", c, len(iters))
+		}
+		for i, it := range iters {
+			if it != i+1 {
+				t.Fatalf("case %d iteration order broken: %v", c, iters)
+			}
+		}
+	}
+}
+
+// TestObserveIterationZeroAlloc is the telemetry-tap contract: the solve
+// hot loop calls ObserveIteration every iteration, so it must never
+// allocate — including when the buffer is full and decimation compacts in
+// place.
+func TestObserveIterationZeroAlloc(t *testing.T) {
+	l := NewConvergenceLog(32)
+	iter := 0
+	allocs := testing.AllocsPerRun(5000, func() {
+		iter++
+		l.ObserveIteration(0, iter, 1e-3, 1e-4)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveIteration allocates %g per call, want 0", allocs)
+	}
+}

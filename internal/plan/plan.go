@@ -218,6 +218,32 @@ func (p Plan) TileWidths() []int {
 	return w
 }
 
+// Attrs flattens the plan into span attributes: the evidence trail a job
+// trace records about the planner's decision, so offline analysis (and the
+// future self-tuning planner) can correlate every decision with the
+// measured outcome it produced.
+func (p Plan) Attrs() map[string]any {
+	return map[string]any{
+		"backend":     p.Backend.String(),
+		"tiles":       len(p.Tiles),
+		"tile_widths": p.TileWidths(),
+		"workers":     p.Workers,
+		"m":           p.M,
+	}
+}
+
+// Attrs flattens the probe into span attributes — the structural evidence
+// the planner decided from.
+func (p Probe) Attrs() map[string]any {
+	return map[string]any{
+		"rows":        p.Rows,
+		"nnz":         p.NNZ,
+		"max_row_nnz": p.MaxRowNNZ,
+		"num_diags":   p.NumDiags,
+		"fill":        p.Fill,
+	}
+}
+
 // minParallelRows mirrors vec's serial-fallback threshold: below it the
 // parallel kernels run serially regardless of budget, so the plan records
 // an effective fan-out of 1.

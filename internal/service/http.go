@@ -3,9 +3,12 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 // maxBodyBytes bounds a /v1/solve body (64 MiB: a ~1M-triplet COO system).
@@ -28,21 +31,75 @@ type errorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/solve     submit a solve (async or waiting)
-//	POST   /v1/plan      resolve a request's execution plan without solving
-//	GET    /v1/jobs/{id} job status/result; with Accept: text/event-stream
-//	                     (or ?watch=1) streams per-case results as they
-//	                     converge, ending with the finished job
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/stats     queue, cache, tiling and latency statistics
+//	POST   /v1/solve           submit a solve (async or waiting)
+//	POST   /v1/plan            resolve a request's execution plan without solving
+//	GET    /v1/jobs/{id}       job status/result; with Accept: text/event-stream
+//	                           (or ?watch=1) streams per-case results as they
+//	                           converge, ending with the finished job
+//	GET    /v1/jobs/{id}/trace stage timeline + sampled convergence curve
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/stats           queue, cache, tiling and latency statistics
+//	GET    /metrics            Prometheus text exposition
+//
+// Every request is logged to the engine's structured logger with a
+// generated request id, echoed back in the X-Request-Id header.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.logRequests(mux)
+}
+
+// nextRequestID numbers requests process-wide for log correlation.
+var nextRequestID atomic.Int64
+
+// logRequests wraps the API in request-scoped structured logging: each
+// request gets an id (generated, or taken from an incoming X-Request-Id so
+// callers can thread their own correlation ids), which is echoed in the
+// response headers and attached to the access log line.
+func (s *Service) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = fmt.Sprintf("r-%06d", nextRequestID.Add(1))
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.Logger().Info("http request",
+			"request", reqID, "method", r.Method, "path", r.URL.Path,
+			"status", status, "duration_seconds", time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the access log. It keeps
+// the Flusher contract the SSE/ndjson stream handlers depend on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -165,4 +222,23 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleTrace serves a job's stage timeline and sampled convergence curve.
+// It works on running jobs (open spans report provisional durations) and
+// replays unchanged for finished ones, for as long as the job is retained
+// in history.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ti, ok := s.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, ti)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
 }

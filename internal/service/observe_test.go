@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsEndpoint: GET /metrics serves the engine registry in
+// Prometheus text exposition format with the counters the ISSUE names, and
+// every response carries a request id.
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if resp, body := postJSON(t, srv, "/v1/solve", solveHTTPRequest{SolveRequest: plateReq(10, 10, 2)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("response missing X-Request-Id")
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE repro_jobs_total counter",
+		`repro_jobs_total{state="done"} 1`,
+		"repro_cache_misses_total 1",
+		"# TYPE repro_case_iterations histogram",
+		"repro_case_iterations_count 1",
+		"# TYPE repro_queue_depth gauge",
+		"repro_stream_subscribers 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// An incoming request id is honored, not replaced.
+	req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp2, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); got != "caller-7" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+}
+
+// TestTraceEndpointHTTP: a finished job's stage timeline is served at
+// GET /v1/jobs/{id}/trace, replays identically on a second fetch, and an
+// unknown id is a 404.
+func TestTraceEndpointHTTP(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv, "/v1/solve", solveHTTPRequest{SolveRequest: plateReq(12, 12, 3)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	mustUnmarshal(t, body, &v)
+
+	get := func() TraceInfo {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/v1/jobs/" + v.ID + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace status %d", resp.StatusCode)
+		}
+		var ti TraceInfo
+		if err := json.NewDecoder(resp.Body).Decode(&ti); err != nil {
+			t.Fatal(err)
+		}
+		return ti
+	}
+	ti := get()
+	if ti.JobID != v.ID || ti.State != JobDone {
+		t.Fatalf("trace header %s/%s, want %s/done", ti.JobID, ti.State, v.ID)
+	}
+	if len(ti.Spans) == 0 || ti.Spans[0].Name != "queue" {
+		t.Fatalf("trace spans: %+v", ti.Spans)
+	}
+	var sum float64
+	for _, sp := range ti.Spans {
+		sum += sp.DurationSeconds
+	}
+	if sum > ti.TotalSeconds*(1+1e-9) {
+		t.Fatalf("span durations sum to %gs > total %gs", sum, ti.TotalSeconds)
+	}
+	if len(ti.Convergence) == 0 {
+		t.Fatal("trace has no convergence samples")
+	}
+
+	// Replay: the timeline of a finished job is stable across fetches.
+	again := get()
+	if again.TotalSeconds != ti.TotalSeconds || len(again.Spans) != len(ti.Spans) {
+		t.Fatal("finished trace drifted between fetches")
+	}
+
+	nf, err := srv.Client().Get(srv.URL + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Body.Close()
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status %d, want 404", nf.StatusCode)
+	}
+}
+
+// TestStreamSubscribersDecrementOnDisconnect: the stream_subscribers gauge
+// rises when an SSE watcher attaches and falls back when the client drops
+// the connection mid-job — the handler must notice the severed peer, not
+// hold the subscription until the job ends.
+func TestStreamSubscribersDecrementOnDisconnect(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, body := postJSON(t, srv, "/v1/solve", solveHTTPRequest{SolveRequest: slowReq(), Async: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", resp.StatusCode, body)
+	}
+	var v JobView
+	mustUnmarshal(t, body, &v)
+	// Whatever happens below, don't leave the slow job running.
+	defer s.Cancel(v.ID)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hreq, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/jobs/"+v.ID, nil)
+	hreq.Header.Set("Accept", "text/event-stream")
+	sresp, err := srv.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (stats %+v)", what, s.Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor("subscriber to attach", func() bool { return s.Stats().StreamSubscribers == 1 })
+
+	// Drop the client. The gauge must fall while the job is still live.
+	cancel()
+	waitFor("subscriber to detach", func() bool { return s.Stats().StreamSubscribers == 0 })
+	if view, ok := s.Job(v.ID); !ok || view.State == JobDone {
+		t.Fatalf("job state %+v — disconnect test raced job completion; make slowReq slower", view)
+	}
+}

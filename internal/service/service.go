@@ -41,6 +41,9 @@ type (
 	PlanInfo = engine.PlanInfo
 	// Stats is the service health report.
 	Stats = engine.Stats
+	// TraceInfo is a job's stage timeline and convergence samples
+	// (GET /v1/jobs/{id}/trace).
+	TraceInfo = engine.TraceInfo
 )
 
 // Job lifecycle states.

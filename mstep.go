@@ -423,6 +423,11 @@ type (
 	// ServiceStats is the service health report (queue depth, cache hit
 	// rate, latency percentiles, tiles executed, stream subscribers).
 	ServiceStats = service.Stats
+	// TraceInfo is a job's observability record: the stage timeline (queue
+	// wait, assembly, spectral estimation, per-tile solves, …) plus the
+	// sampled per-iteration convergence curve. Solver.Trace retrieves it by
+	// job id, during and after the solve.
+	TraceInfo = service.TraceInfo
 )
 
 // Job lifecycle states (JobView.State).

@@ -78,6 +78,12 @@ type Solver interface {
 	// Stats reports the session's operational counters (queue, cache
 	// hits/misses, per-backend solves, latency percentiles).
 	Stats() (ServiceStats, error)
+	// Trace retrieves a job's stage timeline and sampled convergence curve
+	// by id (JobResult.JobID, or the Done view's ID from SolveStream). It
+	// works while the job runs — open stages report provisional durations —
+	// and replays unchanged after completion, for as long as the session
+	// retains the job in its finished-job history.
+	Trace(ctx context.Context, jobID string) (TraceInfo, error)
 	// Close drains the session and releases its resources.
 	Close() error
 }
@@ -162,6 +168,15 @@ func (l *Local) Plan(_ context.Context, req Request) (PlanInfo, error) {
 
 // Stats implements Solver.
 func (l *Local) Stats() (ServiceStats, error) { return l.eng.Stats(), nil }
+
+// Trace implements Solver.
+func (l *Local) Trace(_ context.Context, jobID string) (TraceInfo, error) {
+	ti, ok := l.eng.Trace(jobID)
+	if !ok {
+		return TraceInfo{}, fmt.Errorf("repro: unknown job %s", jobID)
+	}
+	return ti, nil
+}
 
 // Close implements Solver: it drains queued jobs and stops the workers.
 func (l *Local) Close() error {

@@ -29,9 +29,10 @@ func solverPair(t *testing.T) (local, remote repro.Solver) {
 }
 
 // normalizeResult strips the in-process-only detail (full CG stats) that
-// deliberately does not cross the wire, so local and remote results can be
-// compared field for field.
+// deliberately does not cross the wire, plus the session-local job id, so
+// local and remote results can be compared field for field.
 func normalizeResult(r repro.JobResult) repro.JobResult {
+	r.JobID = ""
 	r.CGStats = nil
 	for i := range r.Cases {
 		r.Cases[i].CGStats = nil
