@@ -671,3 +671,41 @@ func BenchmarkLocalSolverThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDecomposedSolve measures the decomposed backend on a warm-cached
+// large plate, pinned to one subdomain versus one subdomain per core. The
+// cache entry (and each subdomain count's memoized decomposition) is
+// populated before the timed loop, so the ratio of the two sub-benchmarks
+// is the parallel speedup of the solve itself — the number the CI bench
+// artifact tracks across machines.
+func BenchmarkDecomposedSolve(b *testing.B) {
+	procs := []int{1}
+	if g := runtime.NumCPU(); g > 1 {
+		procs = append(procs, g)
+	}
+	l := repro.NewLocal(repro.LocalConfig{Workers: 1})
+	defer l.Close()
+	for _, p := range procs {
+		req := repro.Request{
+			Plate:        &repro.PlateSpec{Rows: 200, Cols: 200},
+			Solver:       repro.SolverSpec{M: 2, Tol: 1e-4, Backend: "decomposed", Subdomains: p},
+			OmitSolution: true,
+		}
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			// One cold solve pays assembly, planning and decomposition.
+			v, err := l.Solve(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.Backend != "decomposed" || v.Plan.Subdomains != p {
+				b.Fatalf("plan %+v, want decomposed at P=%d", v.Plan, p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Solve(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

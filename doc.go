@@ -11,7 +11,12 @@
 // plane-stress finite element assembly, least-squares and Chebyshev
 // polynomial coefficients, spectral interval estimation, a CYBER 203/205
 // vector machine cost simulator (Table 2) and a concurrent Finite Element
-// Machine simulator (Table 3).
+// Machine simulator (Table 3). The machine also runs for real: the
+// "decomposed" backend partitions a plate into subdomains, each owned by a
+// dedicated goroutine processor exchanging true border values and
+// combining inner products up a reduction tree — auto-selected for plates
+// too large for one cache-resident matrix, or pinned via
+// Config.Subdomains / the solver spec's "subdomains" field.
 //
 // Quick start:
 //
@@ -39,5 +44,5 @@
 //
 // See README.md and the examples/ directory (examples/quickstart,
 // examples/embed, examples/batch, examples/stream, examples/service,
-// examples/observe) for the full tour.
+// examples/observe, examples/decomposed) for the full tour.
 package repro

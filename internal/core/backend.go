@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/plan"
 	"repro/internal/sparse"
 )
@@ -20,10 +22,15 @@ const (
 	// BackendDIA forces diagonal (Madsen–Rodrigue–Karush) storage, the
 	// paper's CYBER 203/205 layout. Requires a square matrix.
 	BackendDIA = plan.BackendDIA
+	// BackendDecomposed runs the domain-decomposed parallel path (the
+	// Finite Element Machine executed for real). It needs the mesh behind
+	// the matrix, so only the engine's plate-backed jobs can run it;
+	// core.Solve on a bare system rejects it.
+	BackendDecomposed = plan.BackendDecomposed
 )
 
-// ParseBackend resolves a backend name ("", "auto", "csr", "dia"); the
-// empty string means Auto.
+// ParseBackend resolves a backend name ("", "auto", "csr", "dia",
+// "decomposed"); the empty string means Auto.
 func ParseBackend(name string) (Backend, error) { return plan.ParseBackend(name) }
 
 // ChooseBackend resolves a backend policy against a concrete matrix: CSR
@@ -49,6 +56,11 @@ func operatorFor(k *sparse.CSR, backend Backend) (sparse.Operator, Backend, erro
 			return nil, BackendDIA, err
 		}
 		return d, BackendDIA, nil
+	case BackendDecomposed:
+		// The decomposed backend is not a storage format for a single
+		// operator — it needs the mesh to partition. The engine routes
+		// plate-backed jobs to it before reaching here.
+		return nil, BackendDecomposed, errors.New("core: decomposed backend requires a mesh-backed problem (plate); solve it through the engine")
 	default:
 		return k, BackendCSR, nil
 	}

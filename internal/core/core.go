@@ -122,6 +122,10 @@ type Config struct {
 	// in SolveBatch: wide batches are split by the planner into cache-sized
 	// column tiles executed sequentially (0 = plan.DefaultBudgetBytes).
 	TileBudgetBytes int
+	// Subdomains pins the processor count of a decomposed solve (0 = the
+	// planner picks from the worker budget and mesh shape). Only
+	// meaningful for mesh-backed problems routed through the engine.
+	Subdomains int
 }
 
 // planner returns the execution planner the config's budgets select.

@@ -1,0 +1,80 @@
+// Package decomp is the domain-decomposition layer extracted from the
+// Finite Element Machine simulator: the per-processor data layout (owned
+// nodes, border/halo sets, neighbor links over mesh.Partition), a generic
+// buffered link fabric, a deterministic tree all-reduce, and a real —
+// unsimulated — parallel m-step PCG solver whose halo exchange moves
+// actual residual and search-direction border values between subdomain
+// goroutines.
+//
+// The package serves two consumers. internal/femachine wraps the same
+// Decomposition in its simulated-clock processors (the TimeModel stays an
+// observer of the identical layout), and internal/engine runs
+// Decomposition.Solve directly as the planner's "decomposed" backend for
+// systems too large for one cache-resident matrix. Extracting the layout
+// once guarantees the simulation and the execution path can never drift:
+// they partition, exchange and reduce over the very same structures.
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/fem"
+	"repro/internal/mesh"
+	"repro/internal/sparse"
+)
+
+// Problem is the decomposition's view of a problem: a multicolor-ordered
+// SPD system plus the node-level facts needed to distribute it. Both the
+// paper's rectangular plate and the §5 irregular-region extension adapt to
+// it (femachine.ColoredProblem is an alias of this type).
+type Problem struct {
+	Grid       mesh.Grid
+	KColored   *sparse.CSR
+	RHS        []float64
+	GroupStart []int
+	NumColors  int
+	// Free lists the natural ids of free nodes in natural order; free node
+	// k owns reduced dofs 2k and 2k+1.
+	Free []int
+	// ColorOf returns the node color of a natural node id.
+	ColorOf func(node int) int
+	// ColoredIndex maps (free-list position, component) to the colored
+	// unknown index.
+	ColoredIndex func(freeIdx, comp int) int
+	// Constrained marks nodes excluded from the unknown set (for irregular
+	// regions this includes inactive nodes).
+	Constrained mesh.Constraint
+}
+
+// PlateProblem adapts the paper's rectangular plate.
+func PlateProblem(plate *fem.Plate) Problem {
+	o := plate.Ordering
+	inv := o.Perm.Inverse()
+	return Problem{
+		Grid:       plate.Grid,
+		KColored:   plate.KColored,
+		RHS:        plate.ColoredRHS(),
+		GroupStart: o.GroupStart[:],
+		NumColors:  mesh.NumColors,
+		Free:       plate.Free,
+		ColorOf:    func(node int) int { return int(plate.Grid.ColorOfID(node)) },
+		ColoredIndex: func(freeIdx, comp int) int {
+			return inv[2*freeIdx+comp]
+		},
+		Constrained: plate.Constrained,
+	}
+}
+
+// Validate checks the problem's structural consistency.
+func (p Problem) Validate() error {
+	if p.NumColors < 1 {
+		return fmt.Errorf("decomp: problem has %d colors", p.NumColors)
+	}
+	if len(p.GroupStart) != 2*p.NumColors+1 {
+		return fmt.Errorf("decomp: %d group boundaries for %d colors", len(p.GroupStart), p.NumColors)
+	}
+	if p.KColored.Rows != 2*len(p.Free) {
+		return fmt.Errorf("decomp: system dim %d != 2×%d free nodes", p.KColored.Rows, len(p.Free))
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package decomp
+
+// reduceOp selects the combining rule of the tree all-reduce.
+type reduceOp int
+
+const (
+	opSum reduceOp = iota
+	opMax
+)
+
+// treeReducer is a deterministic binomial-tree all-reduce over P ranks,
+// the real replacement for the paper machine's sum/max circuit: rank r's
+// children are 2r+1 and 2r+2; values combine own→left→right at every
+// node, so the floating-point result is identical on every rank and
+// independent of goroutine scheduling. Each call moves one [2]float64,
+// letting a scalar reduction carry a cancellation flag in its second lane
+// so control flow stays uniform across ranks.
+type treeReducer struct {
+	p    int
+	up   []chan [2]float64 // up[r]: child r -> parent
+	down []chan [2]float64 // down[r]: parent -> child r
+}
+
+func newTreeReducer(p int) *treeReducer {
+	r := &treeReducer{p: p, up: make([]chan [2]float64, p), down: make([]chan [2]float64, p)}
+	for i := 0; i < p; i++ {
+		r.up[i] = make(chan [2]float64, 1)
+		r.down[i] = make(chan [2]float64, 1)
+	}
+	return r
+}
+
+func combine(acc, v [2]float64, op reduceOp) [2]float64 {
+	switch op {
+	case opSum:
+		acc[0] += v[0]
+	case opMax:
+		if v[0] > acc[0] {
+			acc[0] = v[0]
+		}
+	}
+	// Lane 1 is always a max — it carries flags (cancellation) that any
+	// rank may raise.
+	if v[1] > acc[1] {
+		acc[1] = v[1]
+	}
+	return acc
+}
+
+// allReduce blocks until the whole tree has contributed and returns the
+// combined value, identical on every rank.
+func (r *treeReducer) allReduce(rank int, v [2]float64, op reduceOp) [2]float64 {
+	acc := v
+	if l := 2*rank + 1; l < r.p {
+		acc = combine(acc, <-r.up[l], op)
+	}
+	if rt := 2*rank + 2; rt < r.p {
+		acc = combine(acc, <-r.up[rt], op)
+	}
+	if rank == 0 {
+		if l := 2*rank + 1; l < r.p {
+			r.down[l] <- acc
+		}
+		if rt := 2*rank + 2; rt < r.p {
+			r.down[rt] <- acc
+		}
+		return acc
+	}
+	r.up[rank] <- acc
+	res := <-r.down[rank]
+	if l := 2*rank + 1; l < r.p {
+		r.down[l] <- res
+	}
+	if rt := 2*rank + 2; rt < r.p {
+		r.down[rt] <- res
+	}
+	return res
+}

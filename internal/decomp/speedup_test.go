@@ -1,0 +1,111 @@
+package decomp_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/decomp"
+	"repro/internal/femachine"
+	"repro/internal/mesh"
+	"repro/internal/poly"
+)
+
+// TestDecomposedSpeedupTracksSimulation measures the real decomposed solver
+// at P ∈ {1, 2, 4, 8} on a plate large enough for the interior work to
+// dominate the borders, asserting (a) every processor count reproduces the
+// serial solution and (b) the measured speedup at the largest P stays within
+// a factor of the Finite Element Machine simulation's prediction for the
+// same partition. The factor is generous (3×) because the simulation charges
+// ideal hardware — no scheduler, no memory hierarchy — while the measurement
+// shares cores with the host; the point is that the paper's predicted
+// scaling trend is real, not that the clock model is calibrated.
+func TestDecomposedSpeedupTracksSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	ncpu := runtime.NumCPU()
+	if ncpu < 4 {
+		t.Skipf("need at least 4 CPUs to measure scaling, have %d", ncpu)
+	}
+
+	const (
+		rows, cols = 140, 140
+		m          = 2
+		tol        = 1e-5
+	)
+	plate := makePlate(t, rows, cols)
+	alphas := poly.Ones(m).Coeffs
+
+	serialU, _ := serialSolve(t, plate, m, tol)
+	var scale float64
+	for _, v := range serialU {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+
+	var procs []int
+	for _, p := range []int{1, 2, 4, 8} {
+		if p <= ncpu {
+			procs = append(procs, p)
+		}
+	}
+
+	elapsed := map[int]float64{}
+	for _, p := range procs {
+		d, err := decomp.New(decomp.PlateProblem(plate), p, mesh.RowStrips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := decomp.Options{M: m, Alphas: alphas, Tol: tol, MaxIter: 10000}
+		best := math.Inf(1)
+		var u []float64
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			var st decomp.Stats
+			u, st, err = d.Solve(nil, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Converged {
+				t.Fatalf("P=%d did not converge", p)
+			}
+			if sec := time.Since(start).Seconds(); sec < best {
+				best = sec
+			}
+		}
+		elapsed[p] = best
+		for i := range u {
+			if diff := math.Abs(u[i] - serialU[i]); diff > 1e-4*scale+1e-9 {
+				t.Fatalf("P=%d deviates from the serial solution at %d by %g", p, i, diff)
+			}
+		}
+		t.Logf("P=%d: %.3fs (speedup %.2f×)", p, best, elapsed[1]/best)
+	}
+
+	// The simulation's prediction for the same plate and partition.
+	pmax := procs[len(procs)-1]
+	simTime := func(p int) float64 {
+		mach, err := femachine.New(plate, femachine.Config{
+			P: p, Strategy: mesh.RowStrips, M: m, Alphas: alphas,
+			Tol: tol, MaxIter: 10000, Time: femachine.DefaultTimeModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mach.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}
+	predicted := simTime(1) / simTime(pmax)
+	measured := elapsed[1] / elapsed[pmax]
+	t.Logf("P=%d speedup: measured %.2f×, simulated %.2f×", pmax, measured, predicted)
+	if measured < predicted/3 {
+		t.Errorf("P=%d speedup %.2f× is more than 3× below the simulation's %.2f×",
+			pmax, measured, predicted)
+	}
+}

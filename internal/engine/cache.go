@@ -2,12 +2,15 @@ package engine
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/mesh"
 	"repro/internal/plan"
 	"repro/internal/poly"
 	"repro/internal/precond"
@@ -41,6 +44,14 @@ type cacheEntry struct {
 	diaOnce sync.Once
 	dia     *sparse.DIA
 	diaErr  error
+
+	// decomps memoizes the plate's domain decompositions by subdomain
+	// count. A Decomposition is immutable after construction (all per-solve
+	// state lives in the solve call), so one instance serves every
+	// decomposed solve of this problem at that processor count, including
+	// concurrent ones.
+	decompMu sync.Mutex
+	decomps  map[int]*decomp.Decomposition
 
 	// probeVal memoizes the planner's structure probe: the matrix is
 	// immutable per entry, so the O(nnz) pattern scan runs once, not once
@@ -108,6 +119,30 @@ func (e *cacheEntry) structureProbe() *plan.Probe {
 func (e *cacheEntry) getDIA() (*sparse.DIA, error) {
 	e.diaOnce.Do(func() { e.dia, e.diaErr = sparse.NewDIAFromCSR(e.sys.K) })
 	return e.dia, e.diaErr
+}
+
+// getDecomp returns the entry's memoized p-way row-strip decomposition of
+// its plate, partitioning on first use. Like the DIA conversion, it is
+// cached alongside the CSR so repeated decomposed solves of one problem
+// never re-partition the mesh.
+func (e *cacheEntry) getDecomp(p int) (*decomp.Decomposition, error) {
+	if e.plate == nil {
+		return nil, errors.New("engine: decomposed backend needs a plate-backed problem (general systems carry no mesh to partition)")
+	}
+	e.decompMu.Lock()
+	defer e.decompMu.Unlock()
+	if d, ok := e.decomps[p]; ok {
+		return d, nil
+	}
+	d, err := decomp.New(decomp.PlateProblem(e.plate), p, mesh.RowStrips)
+	if err != nil {
+		return nil, err
+	}
+	if e.decomps == nil {
+		e.decomps = make(map[int]*decomp.Decomposition)
+	}
+	e.decomps[p] = d
+	return d, nil
 }
 
 // checkout takes a preconditioner from the pool, rebuilding one when the

@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/cg"
 	"repro/internal/core"
+	"repro/internal/decomp"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/mesh"
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/poly"
@@ -94,7 +96,8 @@ type Engine struct {
 	logger  *slog.Logger
 
 	// latByBackend splits the latency window by resolved matvec backend
-	// (keys "csr" and "dia"), feeding the per-backend quantiles in Stats.
+	// (keys "csr", "dia" and "decomposed"), feeding the per-backend
+	// quantiles in Stats.
 	latByBackend map[string]*latencyRing
 
 	// metrics is the engine's instrument registry (GET /metrics); the
@@ -116,15 +119,16 @@ type Engine struct {
 	// snapshot reads them in a single consistent view — a job can no longer
 	// appear in jobs_done while its iterations are still missing from
 	// total_iterations, which the old field-by-field atomics allowed.
-	cmu           sync.Mutex
-	running       int64
-	jobsDone      int64
-	jobsFailed    int64
-	totalIters    int64
-	solvesCSR     int64
-	solvesDIA     int64
-	tilesExecuted int64
-	streamSubs    int64 // current streaming subscribers (gauge)
+	cmu              sync.Mutex
+	running          int64
+	jobsDone         int64
+	jobsFailed       int64
+	totalIters       int64
+	solvesCSR        int64
+	solvesDIA        int64
+	solvesDecomposed int64
+	tilesExecuted    int64
+	streamSubs       int64 // current streaming subscribers (gauge)
 
 	started time.Time
 	wg      sync.WaitGroup
@@ -146,8 +150,9 @@ func New(cfg Config) *Engine {
 		lat:     newLatencyRing(cfg.LatencyWindow),
 		logger:  logger,
 		latByBackend: map[string]*latencyRing{
-			"csr": newLatencyRing(cfg.LatencyWindow),
-			"dia": newLatencyRing(cfg.LatencyWindow),
+			"csr":        newLatencyRing(cfg.LatencyWindow),
+			"dia":        newLatencyRing(cfg.LatencyWindow),
+			"decomposed": newLatencyRing(cfg.LatencyWindow),
 		},
 		jobs:    make(map[string]*Job),
 		started: time.Now(),
@@ -253,33 +258,70 @@ func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 		return PlanInfo{}, err
 	}
 	var probe *plan.Probe
-	if pb := req.Prebuilt; pb != nil && pb.Probe != nil {
-		probe = pb.Probe
+	var plate *fem.Plate
+	if pb := req.Prebuilt; pb != nil {
+		plate = pb.Plate
+		if pb.Probe != nil {
+			probe = pb.Probe
+		}
 	}
 	if probe == nil {
 		if entry, ok := s.cache.peek(req.cacheKey()); ok {
 			entry.once.Do(func() { entry.build(&req, nil) })
 			if entry.err == nil {
 				probe = entry.structureProbe()
+				plate = entry.plate
 			}
 		}
 	}
 	if probe == nil {
-		sys, _, err := req.assemble()
+		sys, pl, err := req.assemble()
 		if err != nil {
 			return PlanInfo{}, err
 		}
 		p := plan.NewProbe(sys.K)
 		probe = &p
+		plate = pl
 	}
-	pl := s.plannerFor(cfg).Plan(plan.Inputs{
+	pl := s.plannerFor(cfg).Plan(s.planInputs(cfg, probe, plate, req.batchSize()))
+	return planInfo(pl), nil
+}
+
+// planInputs assembles the planner's inputs for one solve: the structure
+// probe plus — for plate-backed problems whose configuration the
+// decomposed path can honor — the mesh facts that enable the decomposed
+// backend. PlanRequest and runJob share it, so an offline plan always
+// matches the plan the solve runs.
+func (s *Engine) planInputs(cfg core.Config, probe *plan.Probe, plate *fem.Plate, rhs int) plan.Inputs {
+	in := plan.Inputs{
 		Probe:   probe,
 		Policy:  cfg.Backend,
-		RHS:     req.batchSize(),
+		RHS:     rhs,
 		M:       cfg.M,
 		Workers: s.workersFor(cfg),
-	})
-	return planInfo(pl), nil
+	}
+	if plate != nil && decompCompatible(cfg) {
+		in.Decomp = &plan.DecompInputs{
+			Rows:      plate.Grid.Rows,
+			FreeNodes: len(plate.Free),
+			Requested: cfg.Subdomains,
+			MaxProcs:  s.workersFor(cfg),
+		}
+	}
+	return in
+}
+
+// decompCompatible reports whether the decomposed path can run cfg's
+// preconditioner: the per-subdomain sweep implements the 6-color
+// multicolor SSOR splitting at the paper's ω = 1 (plain CG when M = 0), so
+// other splittings and relaxation parameters stay on the single-matrix
+// backends. A forced "decomposed" policy bypasses this gate and fails
+// downstream with a descriptive error.
+func decompCompatible(cfg core.Config) bool {
+	if cfg.M == 0 {
+		return true
+	}
+	return cfg.Splitting == core.SSORMulticolor && (cfg.Omega == 0 || cfg.Omega == 1)
 }
 
 // plannerFor returns the planner a resolved config runs under: the engine's
@@ -305,10 +347,11 @@ func (s *Engine) workersFor(cfg core.Config) int {
 // planInfo shapes a resolved plan for job results and the HTTP API.
 func planInfo(pl plan.Plan) PlanInfo {
 	return PlanInfo{
-		Backend: pl.Backend.String(),
-		Tiles:   pl.Tiles,
-		Workers: pl.Workers,
-		M:       pl.M,
+		Backend:    pl.Backend.String(),
+		Tiles:      pl.Tiles,
+		Workers:    pl.Workers,
+		M:          pl.M,
+		Subdomains: pl.Subdomains,
 	}
 }
 
@@ -375,20 +418,22 @@ func (s *Engine) addStreamSubs(d int64) {
 func (s *Engine) Stats() Stats {
 	hits, misses := s.cache.hits.Load(), s.cache.misses.Load()
 	st := Stats{
-		Workers:       s.cfg.Workers,
-		WorkerBudget:  s.cfg.WorkerBudget,
-		QueueDepth:    len(s.queue),
-		QueueCap:      s.cfg.QueueDepth,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		CacheEntries:  s.cache.len(),
-		LatencyP50:    s.lat.quantile(0.50),
-		LatencyP99:    s.lat.quantile(0.99),
-		LatencyP50CSR: s.latByBackend["csr"].quantile(0.50),
-		LatencyP99CSR: s.latByBackend["csr"].quantile(0.99),
-		LatencyP50DIA: s.latByBackend["dia"].quantile(0.50),
-		LatencyP99DIA: s.latByBackend["dia"].quantile(0.99),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:              s.cfg.Workers,
+		WorkerBudget:         s.cfg.WorkerBudget,
+		QueueDepth:           len(s.queue),
+		QueueCap:             s.cfg.QueueDepth,
+		CacheHits:            hits,
+		CacheMisses:          misses,
+		CacheEntries:         s.cache.len(),
+		LatencyP50:           s.lat.quantile(0.50),
+		LatencyP99:           s.lat.quantile(0.99),
+		LatencyP50CSR:        s.latByBackend["csr"].quantile(0.50),
+		LatencyP99CSR:        s.latByBackend["csr"].quantile(0.99),
+		LatencyP50DIA:        s.latByBackend["dia"].quantile(0.50),
+		LatencyP99DIA:        s.latByBackend["dia"].quantile(0.99),
+		LatencyP50Decomposed: s.latByBackend["decomposed"].quantile(0.50),
+		LatencyP99Decomposed: s.latByBackend["decomposed"].quantile(0.99),
+		UptimeSeconds:        time.Since(s.started).Seconds(),
 	}
 	s.cmu.Lock()
 	st.Running = int(s.running)
@@ -397,6 +442,7 @@ func (s *Engine) Stats() Stats {
 	st.TotalIterations = s.totalIters
 	st.SolvesCSR = s.solvesCSR
 	st.SolvesDIA = s.solvesDIA
+	st.SolvesDecomposed = s.solvesDecomposed
 	st.TilesExecuted = s.tilesExecuted
 	st.StreamSubscribers = s.streamSubs
 	s.cmu.Unlock()
@@ -633,18 +679,44 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 		p := plan.NewProbe(sys.K)
 		probe = &p
 	}
-	pl := s.plannerFor(cfg).Plan(plan.Inputs{
-		Probe:   probe,
-		Policy:  cfg.Backend,
-		RHS:     len(fs),
-		M:       cfg.M,
-		Workers: s.workersFor(cfg),
-	})
+	pl := s.plannerFor(cfg).Plan(s.planInputs(cfg, probe, plate, len(fs)))
 	for k, v := range pl.Attrs() {
 		planSp.SetAttr(k, v)
 	}
 	planSp.SetAttr("probe", probe.Attrs())
 	planSp.End()
+
+	// A decomposed plan replaces the single-matrix operator with a P-way
+	// mesh partition: resolve it (memoized on the cache entry for keyed
+	// requests) before execution, so setup failures surface like any other
+	// build error.
+	var dec *decomp.Decomposition
+	if pl.Backend == plan.BackendDecomposed {
+		if plate == nil {
+			s.transition(job, JobFailed, nil, errors.New("engine: decomposed backend needs a plate-backed problem (general systems carry no mesh to partition)"))
+			return
+		}
+		if !decompCompatible(cfg) {
+			s.transition(job, JobFailed, nil, errors.New("engine: decomposed backend implements the multicolor SSOR sweep at ω = 1; pick splitting ssor-multicolor (or m = 0) or a single-matrix backend"))
+			return
+		}
+		decSp := job.trace.Start("decompose").SetWorker(workerID)
+		var derr error
+		if entry != nil {
+			dec, derr = entry.getDecomp(pl.Subdomains)
+		} else {
+			dec, derr = decomp.New(decomp.PlateProblem(plate), pl.Subdomains, mesh.RowStrips)
+		}
+		if derr != nil {
+			decSp.End()
+			s.transition(job, JobFailed, nil, derr)
+			return
+		}
+		decSp.SetAttr("subdomains", dec.P).
+			SetAttr("strategy", "row-strips").
+			SetAttr("halo_fraction", dec.HaloFraction()).
+			End()
+	}
 
 	// Materialize the planned backend's operator (the DIA conversion is
 	// cached next to the CSR on the cached path).
@@ -682,9 +754,12 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 	// Execute + emit.
 	job.initCases(len(fs))
 	var res *JobResult
-	if len(fs) > 1 {
+	switch {
+	case dec != nil:
+		res, err = s.runDecomposed(job, dec, plate, fs, cfg, alphas, opts, workerID)
+	case len(fs) > 1:
 		res, err = s.runTiles(job, op, plate, pc, fs, pl, opts, bws, workerID)
-	} else {
+	default:
 		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws, workerID)
 	}
 	emitEnd := phase("emit")
@@ -720,9 +795,12 @@ func (s *Engine) addRunning(d int64) {
 // countSolve attributes one job to the matvec backend it resolved to.
 func (s *Engine) countSolve(b plan.Backend) {
 	s.cmu.Lock()
-	if b == plan.BackendDIA {
+	switch b {
+	case plan.BackendDIA:
 		s.solvesDIA++
-	} else {
+	case plan.BackendDecomposed:
+		s.solvesDecomposed++
+	default:
 		s.solvesCSR++
 	}
 	s.cmu.Unlock()
@@ -779,6 +857,114 @@ func (s *Engine) runScalar(job *Job, op sparse.Operator, plate *fem.Plate, pc pr
 	}
 	job.caseFinished(0, cr)
 	return res, err
+}
+
+// runDecomposed is the domain-decomposed execute path: every case runs as
+// one parallel solve over dec's subdomains — a goroutine per subdomain,
+// border values moving over the link fabric, inner products combining up
+// the reduction tree. Cases run sequentially because a single case already
+// occupies all P subdomain goroutines; per-case completions stream exactly
+// like the tiled path's.
+func (s *Engine) runDecomposed(job *Job, dec *decomp.Decomposition, plate *fem.Plate, fs [][]float64, cfg core.Config, alphas poly.Alphas, opts cg.Options, workerID int) (*JobResult, error) {
+	dopt := decomp.Options{
+		M:              cfg.M,
+		Tol:            opts.Tol,
+		RelResidualTol: opts.RelResidualTol,
+		MaxIter:        opts.MaxIter,
+		Ctx:            job.ctx,
+	}
+	if cfg.M > 0 {
+		dopt.Alphas = alphas.Coeffs
+	}
+	res := &JobResult{RHS: len(fs), Converged: true}
+	var errs []error
+	var canceled error
+	for ci, f := range fs {
+		if cerr := job.ctx.Err(); cerr != nil {
+			job.caseFinished(ci, CaseResult{Error: cerr.Error()})
+			res.Converged = false
+			canceled = cerr
+			continue
+		}
+		copt := dopt
+		caseIdx := ci
+		copt.OnIteration = func(iter int, udiff, relres float64) {
+			job.conv.ObserveIteration(caseIdx, iter, udiff, relres)
+		}
+		start := time.Now()
+		sp := job.trace.Start("solve").SetWorker(workerID).SetAttr("case", ci)
+		u, st, err := dec.Solve(f, copt)
+		sp.SetIterations(st.Iterations).SetAttr("converged", st.Converged).End()
+		recordSubSpans(job.trace, ci, start, st.Subs)
+		s.countTile(st.Iterations)
+		s.hCaseIters.Observe(float64(st.Iterations))
+		res.Iterations += st.Iterations
+		res.MatVecs += st.MatVecs
+		res.PrecondApps += st.PrecondApps
+		res.InnerProducts += st.InnerProducts
+		if !st.Converged {
+			res.Converged = false
+		}
+		cgst := cg.Stats{
+			Iterations:    st.Iterations,
+			Converged:     st.Converged,
+			FinalUDiff:    st.FinalUDiff,
+			FinalRelRes:   st.FinalRelRes,
+			InnerProducts: st.InnerProducts,
+			PrecondApps:   st.PrecondApps,
+			MatVecs:       st.MatVecs,
+			TrueRelRes:    -1,
+		}
+		cr := CaseResult{
+			Converged:   st.Converged,
+			Iterations:  st.Iterations,
+			FinalUDiff:  st.FinalUDiff,
+			FinalRelRes: st.FinalRelRes,
+			CGStats:     &cgst,
+		}
+		if err != nil {
+			cr.Error = err.Error()
+			errs = append(errs, fmt.Errorf("case %d: %w", ci, err))
+		}
+		if !job.req.OmitSolution {
+			cr.U = u
+			cr.Nodes, cr.NodeU, cr.NodeV = plateDisplacements(plate, u)
+		}
+		job.caseFinished(ci, cr)
+		if len(fs) == 1 {
+			res.FinalUDiff = st.FinalUDiff
+			res.FinalRelRes = st.FinalRelRes
+			res.CGStats = &cgst
+			res.U = cr.U
+			res.Nodes, res.NodeU, res.NodeV = cr.Nodes, cr.NodeU, cr.NodeV
+		}
+	}
+	if canceled != nil {
+		errs = append(errs, canceled)
+	}
+	if len(fs) > 1 {
+		res.Cases = job.snapshotCases()
+		for i := range res.Cases {
+			res.FinalUDiff = max(res.FinalUDiff, res.Cases[i].FinalUDiff)
+			res.FinalRelRes = max(res.FinalRelRes, res.Cases[i].FinalRelRes)
+		}
+	}
+	return res, errors.Join(errs...)
+}
+
+// recordSubSpans attributes one decomposed case's per-subdomain time
+// breakdown to the job trace: a halo_exchange, local_sweep and reduce span
+// per rank, anchored at the case's start. These are the one deliberate
+// exception to the trace's non-overlapping-leaves convention — the P
+// subdomains ran concurrently, so their stage durations sum past the
+// case's wall time by design.
+func recordSubSpans(tr *obs.Trace, ci int, start time.Time, subs []decomp.SubStats) {
+	dur := func(sec float64) time.Duration { return time.Duration(sec * float64(time.Second)) }
+	for _, ss := range subs {
+		tr.Record("halo_exchange", start, dur(ss.HaloSeconds)).SetAttr("subdomain", ss.Rank).SetAttr("case", ci)
+		tr.Record("local_sweep", start, dur(ss.SweepSeconds)).SetAttr("subdomain", ss.Rank).SetAttr("case", ci)
+		tr.Record("reduce", start, dur(ss.ReduceSeconds)).SetAttr("subdomain", ss.Rank).SetAttr("case", ci)
+	}
 }
 
 // runTiles is the batched solve path: the plan's column tiles execute as

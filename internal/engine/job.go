@@ -25,7 +25,8 @@ const (
 // same request re-planned offline (Engine.PlanRequest or POST /v1/plan)
 // yields the same PlanInfo.
 type PlanInfo struct {
-	// Backend is the resolved matvec storage ("csr" or "dia").
+	// Backend is the resolved matvec storage ("csr", "dia" or
+	// "decomposed").
 	Backend string `json:"backend"`
 	// Tiles partitions the batch's column indices into the groups executed
 	// as sequential block solves.
@@ -34,6 +35,10 @@ type PlanInfo struct {
 	Workers int `json:"workers"`
 	// M is the preconditioner step count.
 	M int `json:"m"`
+	// Subdomains is the processor count of a decomposed plan: the mesh is
+	// partitioned this many ways, each subdomain run by a dedicated
+	// goroutine (0 for the single-matrix backends).
+	Subdomains int `json:"subdomains,omitempty"`
 }
 
 // JobResult reports a finished solve.
@@ -51,8 +56,8 @@ type JobResult struct {
 	// Precond names the preconditioner, e.g. "3-step ssor-multicolor
 	// (least-squares)".
 	Precond string `json:"precond"`
-	// Backend is the matvec storage the solve ran on ("csr" or "dia") —
-	// the resolved form of the request's "backend" field.
+	// Backend is the matvec storage the solve ran on ("csr", "dia" or
+	// "decomposed") — the resolved form of the request's "backend" field.
 	Backend string `json:"backend,omitempty"`
 	// Plan is the execution plan the job ran: backend, batch tiles, kernel
 	// fan-out, and step count, as the planner resolved them.

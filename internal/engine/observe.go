@@ -40,6 +40,8 @@ func (s *Engine) registerMetrics() {
 		counter(&s.solvesCSR), obs.Label{Key: "backend", Value: "csr"})
 	r.CounterFunc("repro_solves_total", "Jobs by the matvec backend they resolved to.",
 		counter(&s.solvesDIA), obs.Label{Key: "backend", Value: "dia"})
+	r.CounterFunc("repro_solves_total", "Jobs by the matvec backend they resolved to.",
+		counter(&s.solvesDecomposed), obs.Label{Key: "backend", Value: "decomposed"})
 	r.CounterFunc("repro_cg_iterations_total", "CG iterations summed over every solve (block iterations for tiles).",
 		counter(&s.totalIters))
 	r.CounterFunc("repro_tiles_executed_total", "Executed plan tiles (a scalar solve counts one).",
@@ -72,6 +74,9 @@ func (s *Engine) registerMetrics() {
 		"dia": r.Histogram("repro_job_duration_seconds",
 			"Enqueue to completion latency per job, by resolved backend.",
 			durationBuckets, obs.Label{Key: "backend", Value: "dia"}),
+		"decomposed": r.Histogram("repro_job_duration_seconds",
+			"Enqueue to completion latency per job, by resolved backend.",
+			durationBuckets, obs.Label{Key: "backend", Value: "decomposed"}),
 	}
 	s.hCaseIters = r.Histogram("repro_case_iterations",
 		"CG iterations per right-hand side (each case of a batch counts once).",

@@ -110,11 +110,19 @@ type SolverSpec struct {
 	RelResidualTol float64 `json:"rel_residual_tol,omitempty"`
 	// MaxIter bounds iterations (0 = 10n).
 	MaxIter int `json:"max_iter,omitempty"`
-	// Backend selects the matvec storage for K: "csr", "dia", or "auto"
-	// (empty = auto) — auto probes the matrix structure and picks diagonal
-	// storage for banded-diagonal systems (the paper's CYBER layout), CSR
-	// for scattered fill. The result reports the backend actually used.
+	// Backend selects the matvec storage for K: "csr", "dia", "decomposed",
+	// or "auto" (empty = auto) — auto probes the matrix structure and picks
+	// diagonal storage for banded-diagonal systems (the paper's CYBER
+	// layout), CSR for scattered fill, and the domain-decomposed parallel
+	// path for plate problems too large for one cache-resident matrix. The
+	// decomposed backend needs the mesh, so forcing it on a general system
+	// fails. The result reports the backend actually used.
 	Backend string `json:"backend,omitempty"`
+	// Subdomains pins the processor count of a decomposed solve (the mesh
+	// is partitioned this many ways, each subdomain run by a dedicated
+	// goroutine). 0 lets the planner pick from the session's worker budget;
+	// ignored by the single-matrix backends.
+	Subdomains int `json:"subdomains,omitempty"`
 }
 
 // Request is one unit of work: exactly one of Plate, System, or Prebuilt,
@@ -159,10 +167,16 @@ const (
 	// maxBatchRHS bounds the right-hand sides per request (block scratch
 	// scales with n×s).
 	maxBatchRHS = 256
+	// maxSubdomains bounds the pinned processor count of a decomposed solve
+	// (each subdomain costs a goroutine plus link channels).
+	maxSubdomains = 4096
 )
 
 // Validate checks request shape without doing any assembly.
 func (req *Request) Validate() error {
+	if sd := req.Solver.Subdomains; sd < 0 || sd > maxSubdomains {
+		return fmt.Errorf("engine: subdomain count %d outside [0, %d]", sd, maxSubdomains)
+	}
 	if pb := req.Prebuilt; pb != nil {
 		// Prebuilt problems come from in-process callers, not the network:
 		// only structural integrity is checked here (no resource caps), and
@@ -330,6 +344,7 @@ func (s SolverSpec) CoreConfig(isPlate bool) (core.Config, error) {
 		RelResidualTol: s.RelResidualTol,
 		MaxIter:        s.MaxIter,
 		Backend:        b,
+		Subdomains:     s.Subdomains,
 	}, nil
 }
 

@@ -73,11 +73,12 @@ type Stats struct {
 
 	TotalIterations int64 `json:"total_iterations"`
 
-	// SolvesCSR/SolvesDIA count solves by the matvec backend they actually
-	// ran on (a batched job counts once): the operational view of the
-	// automatic backend selection.
-	SolvesCSR int64 `json:"solves_csr"`
-	SolvesDIA int64 `json:"solves_dia"`
+	// SolvesCSR/SolvesDIA/SolvesDecomposed count solves by the matvec
+	// backend they actually ran on (a batched job counts once): the
+	// operational view of the automatic backend selection.
+	SolvesCSR        int64 `json:"solves_csr"`
+	SolvesDIA        int64 `json:"solves_dia"`
+	SolvesDecomposed int64 `json:"solves_decomposed"`
 
 	// TilesExecuted counts executed plan tiles (a scalar solve is one
 	// tile; a batched job contributes one per planned column tile) — the
@@ -96,10 +97,12 @@ type Stats struct {
 	// the job resolved to (jobs that failed before planning count in
 	// neither): the per-backend view the planner's auto-selection is judged
 	// by. 0 until a job has finished on that backend.
-	LatencyP50CSR float64 `json:"latency_p50_csr_seconds"`
-	LatencyP99CSR float64 `json:"latency_p99_csr_seconds"`
-	LatencyP50DIA float64 `json:"latency_p50_dia_seconds"`
-	LatencyP99DIA float64 `json:"latency_p99_dia_seconds"`
+	LatencyP50CSR        float64 `json:"latency_p50_csr_seconds"`
+	LatencyP99CSR        float64 `json:"latency_p99_csr_seconds"`
+	LatencyP50DIA        float64 `json:"latency_p50_dia_seconds"`
+	LatencyP99DIA        float64 `json:"latency_p99_dia_seconds"`
+	LatencyP50Decomposed float64 `json:"latency_p50_decomposed_seconds"`
+	LatencyP99Decomposed float64 `json:"latency_p99_decomposed_seconds"`
 
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

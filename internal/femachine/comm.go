@@ -4,30 +4,12 @@ import "sync"
 
 // message is one border-exchange record: the packaged values of one or two
 // unknown colors for the border nodes shared with one neighbor, stamped
-// with its simulated arrival time.
+// with its simulated arrival time. The channel fabric itself is the shared
+// decomp.Links[message]; only the simulated-clock reducer lives here.
 type message struct {
 	vals    []float64
 	arrival float64
 }
-
-// links is the static channel fabric: one buffered channel per directed
-// neighbor pair, mirroring the machine's dedicated local links.
-type links struct {
-	ch map[[2]int]chan message
-}
-
-func newLinks(pairs [][2]int) *links {
-	l := &links{ch: make(map[[2]int]chan message, len(pairs))}
-	for _, pr := range pairs {
-		// Buffered: a sender never blocks on a peer that is still
-		// computing, matching the hardware's independent link FIFOs.
-		l.ch[pr] = make(chan message, 16)
-	}
-	return l
-}
-
-func (l *links) send(from, to int, m message) { l.ch[[2]int{from, to}] <- m }
-func (l *links) recv(from, to int) message    { return <-l.ch[[2]int{from, to}] }
 
 // reducer is the sum/max circuit and the signal flag network: an all-reduce
 // rendezvous across all P processors. Operands are combined in rank order

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/decomp"
 	"repro/internal/fem"
 	"repro/internal/mesh"
 )
@@ -42,23 +43,16 @@ type Result struct {
 }
 
 // Machine is a configured Finite Element Machine ready to solve one
-// multicolor-ordered problem.
+// multicolor-ordered problem. Its per-processor layout (rows, borders,
+// halos, neighbor links) is the shared decomp.Decomposition — the same
+// structure the real decomposed backend executes — with the simulated
+// TimeModel clock layered on as an observer.
 type Machine struct {
 	cfg   Config
-	prob  ColoredProblem
-	part  *mesh.Partition
+	dec   *decomp.Decomposition
 	procs []*proc
-	links *links
+	links *decomp.Links[message]
 	red   *reducer
-
-	numColors int
-	numGroups int
-	allColors []int
-	// colored-index lookup tables shared by every processor build
-	nodeOfColored  []int
-	compOfColored  []int
-	groupOfColored []int
-	freePos        map[int]int
 }
 
 // New builds the machine for the paper's plate problem.
@@ -83,9 +77,6 @@ func NewMachine(prob ColoredProblem, cfg Config) (*Machine, error) {
 	if err := cfg.Time.Validate(); err != nil {
 		return nil, err
 	}
-	if err := prob.validate(); err != nil {
-		return nil, err
-	}
 	if cfg.Tol <= 0 {
 		return nil, fmt.Errorf("femachine: Tol must be positive")
 	}
@@ -96,51 +87,21 @@ func NewMachine(prob ColoredProblem, cfg Config) (*Machine, error) {
 	if cfg.M < 0 || (cfg.M > 0 && len(cfg.Alphas) != cfg.M) {
 		return nil, fmt.Errorf("femachine: need len(Alphas) == M, got %d vs %d", len(cfg.Alphas), cfg.M)
 	}
-	part, err := mesh.NewPartition(prob.Grid, prob.Constrained, cfg.P, cfg.Strategy)
+	dec, err := decomp.New(prob, cfg.P, cfg.Strategy)
 	if err != nil {
 		return nil, err
 	}
 	m := &Machine{
-		cfg: cfg, prob: prob, part: part,
-		red:       newReducer(cfg.P, cfg.Time),
-		numColors: prob.NumColors,
-		numGroups: 2 * prob.NumColors,
+		cfg: cfg, dec: dec,
+		red: newReducer(cfg.P, cfg.Time),
+		// Link buffers are provisioned for the exchange schedule's
+		// in-flight bound, with payload rings sized per neighbor from the
+		// partition's actual border width (Subdomain.MaxSendWords) — see
+		// newProc — so large borders cannot deadlock an exchange.
+		links: decomp.NewLinks[message](dec, decomp.LinkDepth),
 	}
-	for c := 0; c < m.numColors; c++ {
-		m.allColors = append(m.allColors, c)
-	}
-	// Colored-index lookup tables.
-	m.nodeOfColored = make([]int, n)
-	m.compOfColored = make([]int, n)
-	m.groupOfColored = make([]int, n)
-	m.freePos = make(map[int]int, len(prob.Free))
-	for k, id := range prob.Free {
-		m.freePos[id] = k
-		for comp := 0; comp < 2; comp++ {
-			ci := prob.ColoredIndex(k, comp)
-			m.nodeOfColored[ci] = id
-			m.compOfColored[ci] = comp
-		}
-	}
-	for g := 0; g < m.numGroups; g++ {
-		for i := prob.GroupStart[g]; i < prob.GroupStart[g+1]; i++ {
-			m.groupOfColored[i] = g
-		}
-	}
-
-	var pairs [][2]int
 	for p := 0; p < cfg.P; p++ {
-		for _, q := range part.NeighborProcs(p) {
-			pairs = append(pairs, [2]int{p, q})
-		}
-	}
-	m.links = newLinks(pairs)
-	for p := 0; p < cfg.P; p++ {
-		lp, err := buildProc(m, p)
-		if err != nil {
-			return nil, err
-		}
-		m.procs = append(m.procs, lp)
+		m.procs = append(m.procs, newProc(m, dec.Subs[p]))
 	}
 	return m, nil
 }
@@ -154,7 +115,7 @@ func (m *Machine) Run() (Result, error) {
 		wg.Add(1)
 		go func(lp *proc) {
 			defer wg.Done()
-			errs[lp.rank] = lp.solve()
+			errs[lp.sub.Rank] = lp.solve()
 		}(m.procs[p])
 	}
 	wg.Wait()
@@ -163,9 +124,9 @@ func (m *Machine) Run() (Result, error) {
 			return Result{}, err
 		}
 	}
-	res := Result{U: make([]float64, m.prob.KColored.Rows)}
+	res := Result{U: make([]float64, m.dec.Prob.KColored.Rows)}
 	for _, lp := range m.procs {
-		for i, gidx := range lp.coloredIdx {
+		for i, gidx := range lp.sub.ColoredIdx {
 			res.U[gidx] = lp.u[i]
 		}
 		if lp.clock > res.SimTime {
@@ -184,38 +145,24 @@ func (m *Machine) Run() (Result, error) {
 	return res, nil
 }
 
-// proc is one processor's static data and run state.
+// proc is one simulated processor: a shared immutable subdomain layout
+// plus this run's vectors, clock and counters.
 type proc struct {
-	m    *Machine
-	rank int
-
-	ownNodes  []int // natural node ids, ascending
-	haloNodes []int
-	liOf      map[int]int // natural node id -> local node index (own then halo)
-	nOwn      int
-	nAll      int
-
-	// Row data for own dofs (flat index 2*localNode+comp), with entries
-	// sorted by the global colored order and segmented by unknown group
-	// (rowSeg[flat] has numGroups+1 boundaries).
-	rowCols [][]int32 // local flat column indices (may point into halo)
-	rowVals [][]float64
-	rowSeg  [][]int32
-	diag    []float64
-	f       []float64
-
-	colorOwn [][]int // own local node indices per node color
-
-	neighbors []int
-	sendNodes map[int][][]int // per neighbor, per color: own local node indices to send
-	recvNodes map[int][][]int // per neighbor, per color: halo local node indices to fill
-
-	coloredIdx []int // own flat dof -> global colored index
+	m   *Machine
+	sub *decomp.Subdomain
 
 	// run state
 	u, r, kp   []float64 // own dofs
 	rhat, pvec []float64 // own + halo dofs
 	ycache     []float64 // Conrad–Wallach cache, own dofs
+
+	// Double-buffered send payloads per neighbor, sized from the
+	// partition's border width: the receiver copies a message out before
+	// its sender can cycle back to the same slot, so two slots suffice
+	// and exchanges never allocate.
+	sendBufs [][2][]float64
+	sendIdx  []int
+
 	clock      float64
 	iterations int
 	converged  bool
@@ -229,108 +176,22 @@ type proc struct {
 	reductions       int
 }
 
-// buildProc extracts processor p's slice of the global colored system.
-func buildProc(m *Machine, p int) (*proc, error) {
-	prob, part := m.prob, m.part
-	lp := &proc{m: m, rank: p}
-	lp.ownNodes = part.Nodes[p]
-	lp.haloNodes = part.HaloNodes(p)
-	lp.nOwn = len(lp.ownNodes)
-	lp.nAll = lp.nOwn + len(lp.haloNodes)
-	lp.liOf = make(map[int]int, lp.nAll)
-	for i, id := range lp.ownNodes {
-		lp.liOf[id] = i
+func newProc(m *Machine, sub *decomp.Subdomain) *proc {
+	nd := 2 * sub.NOwn
+	lp := &proc{
+		m: m, sub: sub,
+		u: make([]float64, nd), r: make([]float64, nd), kp: make([]float64, nd),
+		rhat: make([]float64, 2*sub.NAll), pvec: make([]float64, 2*sub.NAll),
+		ycache:   make([]float64, nd),
+		sendBufs: make([][2][]float64, len(sub.Neighbors)),
+		sendIdx:  make([]int, len(sub.Neighbors)),
 	}
-	for i, id := range lp.haloNodes {
-		lp.liOf[id] = lp.nOwn + i
-	}
-	lp.colorOwn = make([][]int, m.numColors)
-	for i, id := range lp.ownNodes {
-		c := prob.ColorOf(id)
-		if c < 0 || c >= m.numColors {
-			return nil, fmt.Errorf("femachine: node %d has color %d outside [0,%d)", id, c, m.numColors)
-		}
-		lp.colorOwn[c] = append(lp.colorOwn[c], i)
-	}
-
-	kc := prob.KColored
-	nd := 2 * lp.nOwn
-	lp.rowCols = make([][]int32, nd)
-	lp.rowVals = make([][]float64, nd)
-	lp.rowSeg = make([][]int32, nd)
-	lp.diag = make([]float64, nd)
-	lp.f = make([]float64, nd)
-	lp.coloredIdx = make([]int, nd)
-
-	for li, id := range lp.ownNodes {
-		freeK, ok := m.freePos[id]
-		if !ok {
-			return nil, fmt.Errorf("femachine: constrained node %d assigned to processor %d", id, p)
-		}
-		for comp := 0; comp < 2; comp++ {
-			row := prob.ColoredIndex(freeK, comp)
-			flat := 2*li + comp
-			lp.coloredIdx[flat] = row
-			lp.f[flat] = prob.RHS[row]
-			seg := make([]int32, m.numGroups+1)
-			curGroup := 0
-			for k := kc.RowPtr[row]; k < kc.RowPtr[row+1]; k++ {
-				col := kc.ColIdx[k]
-				if col == row {
-					lp.diag[flat] = kc.Val[k]
-					// The diagonal also stays in the row (inside its own
-					// group's segment) so K·p sums in exactly the serial
-					// column order; the sweeps' one-sided sums never touch
-					// the within-group segment.
-				}
-				g := m.groupOfColored[col]
-				for curGroup < g {
-					curGroup++
-					seg[curGroup] = int32(len(lp.rowCols[flat]))
-				}
-				colNode := m.nodeOfColored[col]
-				colComp := m.compOfColored[col]
-				colLi, ok := lp.liOf[colNode]
-				if !ok {
-					return nil, fmt.Errorf("femachine: proc %d row for node %d references node %d outside own+halo", p, id, colNode)
-				}
-				lp.rowCols[flat] = append(lp.rowCols[flat], int32(2*colLi+colComp))
-				lp.rowVals[flat] = append(lp.rowVals[flat], kc.Val[k])
-			}
-			for curGroup < m.numGroups {
-				curGroup++
-				seg[curGroup] = int32(len(lp.rowCols[flat]))
-			}
-			lp.rowSeg[flat] = seg
-			if lp.diag[flat] <= 0 {
-				return nil, fmt.Errorf("femachine: non-positive diagonal at proc %d dof %d", p, flat)
-			}
+	for ni, q := range sub.Neighbors {
+		words := sub.MaxSendWords[q]
+		lp.sendBufs[ni] = [2][]float64{
+			make([]float64, 0, words),
+			make([]float64, 0, words),
 		}
 	}
-
-	lp.neighbors = part.NeighborProcs(p)
-	lp.sendNodes = make(map[int][][]int, len(lp.neighbors))
-	lp.recvNodes = make(map[int][][]int, len(lp.neighbors))
-	for _, q := range lp.neighbors {
-		snd := make([][]int, m.numColors)
-		rcv := make([][]int, m.numColors)
-		for _, id := range part.BorderNodes(p, q) {
-			c := prob.ColorOf(id)
-			snd[c] = append(snd[c], lp.liOf[id])
-		}
-		for _, id := range part.BorderNodes(q, p) {
-			c := prob.ColorOf(id)
-			rcv[c] = append(rcv[c], lp.liOf[id])
-		}
-		lp.sendNodes[q] = snd
-		lp.recvNodes[q] = rcv
-	}
-
-	lp.u = make([]float64, nd)
-	lp.r = make([]float64, nd)
-	lp.kp = make([]float64, nd)
-	lp.rhat = make([]float64, 2*lp.nAll)
-	lp.pvec = make([]float64, 2*lp.nAll)
-	lp.ycache = make([]float64, nd)
-	return lp, nil
+	return lp
 }

@@ -1,53 +1,20 @@
 package femachine
 
 import (
-	"fmt"
-
+	"repro/internal/decomp"
 	"repro/internal/fem"
 	"repro/internal/mesh"
-	"repro/internal/sparse"
 )
 
 // ColoredProblem is the machine's view of a problem: a multicolor-ordered
-// SPD system plus the node-level facts needed to distribute it. Both the
-// paper's rectangular plate and the §5 irregular-region extension adapt to
-// it.
-type ColoredProblem struct {
-	Grid       mesh.Grid
-	KColored   *sparse.CSR
-	RHS        []float64
-	GroupStart []int
-	NumColors  int
-	// Free lists the natural ids of free nodes in natural order; free node
-	// k owns reduced dofs 2k and 2k+1.
-	Free []int
-	// ColorOf returns the node color of a natural node id.
-	ColorOf func(node int) int
-	// ColoredIndex maps (free-list position, component) to the colored
-	// unknown index.
-	ColoredIndex func(freeIdx, comp int) int
-	// Constrained marks nodes excluded from the unknown set (for irregular
-	// regions this includes inactive nodes).
-	Constrained mesh.Constraint
-}
+// SPD system plus the node-level facts needed to distribute it. It is the
+// same type the real decomposed solver consumes (decomp.Problem) — the
+// simulator and the execution path can never drift apart structurally.
+type ColoredProblem = decomp.Problem
 
 // PlateProblem adapts the paper's rectangular plate.
 func PlateProblem(plate *fem.Plate) ColoredProblem {
-	o := plate.Ordering
-	inv := o.Perm.Inverse()
-	return ColoredProblem{
-		Grid:       plate.Grid,
-		KColored:   plate.KColored,
-		RHS:        plate.ColoredRHS(),
-		GroupStart: o.GroupStart[:],
-		NumColors:  mesh.NumColors,
-		Free:       plate.Free,
-		ColorOf:    func(node int) int { return int(plate.Grid.ColorOfID(node)) },
-		ColoredIndex: func(freeIdx, comp int) int {
-			return inv[2*freeIdx+comp]
-		},
-		Constrained: plate.Constrained,
-	}
+	return decomp.PlateProblem(plate)
 }
 
 // DomainColoredProblem adapts an irregular-region problem. The partition
@@ -100,18 +67,5 @@ func DomainColoredProblem(p *fem.DomainProblem, constrained mesh.Constraint) (Co
 			return constrained(i, j) || !active[g.NodeID(i, j)]
 		},
 	}
-	return cp, cp.validate()
-}
-
-func (cp ColoredProblem) validate() error {
-	if cp.NumColors < 1 {
-		return fmt.Errorf("femachine: problem has %d colors", cp.NumColors)
-	}
-	if len(cp.GroupStart) != 2*cp.NumColors+1 {
-		return fmt.Errorf("femachine: %d group boundaries for %d colors", len(cp.GroupStart), cp.NumColors)
-	}
-	if cp.KColored.Rows != 2*len(cp.Free) {
-		return fmt.Errorf("femachine: system dim %d != 2×%d free nodes", cp.KColored.Rows, len(cp.Free))
-	}
-	return nil
+	return cp, cp.Validate()
 }

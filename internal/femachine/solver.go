@@ -20,45 +20,52 @@ func (lp *proc) charge(flops int) {
 // listed node travel in one record per neighbor, the packaging §3.2
 // recommends. commTime/count record the category (preconditioner vs halo).
 func (lp *proc) exchange(v []float64, colors []int, commTime *float64, count *int) {
-	if len(lp.neighbors) == 0 {
+	sub := lp.sub
+	if len(sub.Neighbors) == 0 {
 		return
 	}
 	tm := lp.m.cfg.Time
-	// Send to every neighbor first (links are buffered, so this cannot
+	// Send to every neighbor first (links are buffered and the payload
+	// rings are sized from the real border width, so this cannot
 	// deadlock), then drain the receives.
-	for _, q := range lp.neighbors {
-		var vals []float64
+	for ni, q := range sub.Neighbors {
+		idx := lp.sendIdx[ni]
+		lp.sendIdx[ni] = idx ^ 1
+		vals := lp.sendBufs[ni][idx][:0]
+		snd := sub.SendNodes[q]
 		for _, c := range colors {
-			for _, li := range lp.sendNodes[q][c] {
+			for _, li := range snd[c] {
 				vals = append(vals, v[2*li], v[2*li+1])
 			}
 		}
+		lp.sendBufs[ni][idx] = vals
 		lp.clock += tm.MsgStartup
 		*commTime += tm.MsgStartup
 		arrival := lp.clock + float64(len(vals))*tm.Word
-		lp.m.links.send(lp.rank, q, message{vals: vals, arrival: arrival})
+		lp.m.links.Send(sub.Rank, q, message{vals: vals, arrival: arrival})
 	}
-	for _, q := range lp.neighbors {
-		msg := lp.m.links.recv(q, lp.rank)
+	for _, q := range sub.Neighbors {
+		msg := lp.m.links.Recv(q, sub.Rank)
 		if msg.arrival > lp.clock {
 			*commTime += msg.arrival - lp.clock
 			lp.clock = msg.arrival
 		}
 		i := 0
+		rcv := sub.RecvNodes[q]
 		for _, c := range colors {
-			for _, li := range lp.recvNodes[q][c] {
+			for _, li := range rcv[c] {
 				v[2*li] = msg.vals[i]
 				v[2*li+1] = msg.vals[i+1]
 				i += 2
 			}
 		}
 	}
-	*count += len(lp.neighbors)
+	*count += len(sub.Neighbors)
 }
 
 // allReduce performs a global reduction, charging the synchronization wait.
 func (lp *proc) allReduce(val float64, op reduceOp) float64 {
-	res, rclock := lp.m.red.allReduce(lp.rank, val, lp.clock, op)
+	res, rclock := lp.m.red.allReduce(lp.sub.Rank, val, lp.clock, op)
 	if rclock > lp.clock {
 		lp.reduceWaitTime += rclock - lp.clock
 		lp.clock = rclock
@@ -69,7 +76,7 @@ func (lp *proc) allReduce(val float64, op reduceOp) float64 {
 
 // dotOwn is the local part of an inner product over own dofs.
 func (lp *proc) dotOwn(a, b []float64) float64 {
-	n := 2 * lp.nOwn
+	n := 2 * lp.sub.NOwn
 	var s float64
 	for i := 0; i < n; i++ {
 		s += a[i] * b[i]
@@ -78,11 +85,11 @@ func (lp *proc) dotOwn(a, b []float64) float64 {
 	return s
 }
 
-// rowSum accumulates Σ rowVals[k]·x[cols[k]] over the half-open entry range
-// [lo, hi) of row `flat`.
-func (lp *proc) rowSum(flat int, lo, hi int32, x []float64) float64 {
-	cols := lp.rowCols[flat]
-	vals := lp.rowVals[flat]
+// rowSum accumulates Σ Vals[k]·x[Cols[k]] over the half-open entry range
+// [lo, hi) of the subdomain's flat row storage.
+func (lp *proc) rowSum(lo, hi int32, x []float64) float64 {
+	cols := lp.sub.Cols
+	vals := lp.sub.Vals
 	var s float64
 	for k := lo; k < hi; k++ {
 		s += vals[k] * x[cols[k]]
@@ -94,11 +101,12 @@ func (lp *proc) rowSum(flat int, lo, hi int32, x []float64) float64 {
 // The diagonal is stored inside the row, so the sum runs in exactly the
 // serial CSR column order.
 func (lp *proc) localKp() {
-	ng := lp.m.numGroups
+	ng := lp.sub.NumGroups
+	stride := ng + 1
 	flops := 0
-	for flat := 0; flat < 2*lp.nOwn; flat++ {
-		seg := lp.rowSeg[flat]
-		lp.kp[flat] = lp.rowSum(flat, seg[0], seg[ng], lp.pvec)
+	for flat := 0; flat < 2*lp.sub.NOwn; flat++ {
+		seg := lp.sub.Seg[flat*stride:]
+		lp.kp[flat] = lp.rowSum(seg[0], seg[ng], lp.pvec)
 		flops += 2 * int(seg[ng]-seg[0])
 	}
 	lp.charge(flops)
@@ -113,21 +121,22 @@ func (lp *proc) localKp() {
 func (lp *proc) solveGroup(g int, alpha float64, forward, cache, solve bool) {
 	color := g / 2
 	comp := g % 2
-	ng := lp.m.numGroups
+	ng := lp.sub.NumGroups
+	stride := ng + 1
 	flops := 0
-	for _, li := range lp.colorOwn[color] {
+	for _, li := range lp.sub.ColorOwn[color] {
 		flat := 2*li + comp
-		seg := lp.rowSeg[flat]
+		seg := lp.sub.Seg[flat*stride:]
 		var x float64
 		if forward {
-			x = -lp.rowSum(flat, seg[0], seg[g], lp.rhat)
+			x = -lp.rowSum(seg[0], seg[g], lp.rhat)
 			flops += 2 * int(seg[g]-seg[0])
 		} else {
-			x = -lp.rowSum(flat, seg[g+1], seg[ng], lp.rhat)
+			x = -lp.rowSum(seg[g+1], seg[ng], lp.rhat)
 			flops += 2 * int(seg[ng]-seg[g+1])
 		}
 		if solve {
-			lp.rhat[flat] = (x + lp.ycache[flat] + alpha*lp.r[flat]) / lp.diag[flat]
+			lp.rhat[flat] = (x + lp.ycache[flat] + alpha*lp.r[flat]) / lp.sub.Diag[flat]
 			flops += 4
 		}
 		if cache {
@@ -149,7 +158,7 @@ func (lp *proc) msweep() {
 	for i := range lp.ycache {
 		lp.ycache[i] = 0
 	}
-	nc := lp.m.numColors
+	nc := lp.m.dec.NumColors
 	lastGroup := 2*nc - 1
 	for s := 1; s <= m; s++ {
 		alpha := cfg.Alphas[m-s]
@@ -160,7 +169,7 @@ func (lp *proc) msweep() {
 		for c := 0; c < nc; c++ {
 			lp.solveGroup(2*c, alpha, true, true, true)
 			lp.solveGroup(2*c+1, alpha, true, 2*c+1 < lastGroup, true)
-			lp.exchange(lp.rhat, []int{c}, &lp.precondCommTime, &lp.precondExchanges)
+			lp.exchange(lp.rhat, lp.m.dec.ColorSet(c), &lp.precondCommTime, &lp.precondExchanges)
 		}
 		// Backward half-sweep: skip the last group (identical re-solve);
 		// for each color from the top, solve its v- then u-group and
@@ -172,7 +181,7 @@ func (lp *proc) msweep() {
 				lp.solveGroup(2*c+1, alpha, false, true, true)
 			}
 			lp.solveGroup(2*c, alpha, false, true, true)
-			lp.exchange(lp.rhat, []int{c}, &lp.precondCommTime, &lp.precondExchanges)
+			lp.exchange(lp.rhat, lp.m.dec.ColorSet(c), &lp.precondCommTime, &lp.precondExchanges)
 		}
 		if lastGroup != 1 {
 			lp.solveGroup(1, alpha, false, true, true)
@@ -184,14 +193,14 @@ func (lp *proc) msweep() {
 // solve is the per-processor PCG driver (Algorithm 1 on the machine).
 func (lp *proc) solve() error {
 	cfg := lp.m.cfg
-	n := 2 * lp.nOwn
+	n := 2 * lp.sub.NOwn
 
 	// r⁰ = f − K·u⁰ with u⁰ = 0. The real machine still performs the
 	// product; charge it for timing fidelity.
-	lp.exchange(lp.pvec, lp.m.allColors, &lp.haloCommTime, &lp.haloExchanges)
+	lp.exchange(lp.pvec, lp.m.dec.AllColors, &lp.haloCommTime, &lp.haloExchanges)
 	lp.localKp()
 	for i := 0; i < n; i++ {
-		lp.r[i] = lp.f[i] - lp.kp[i]
+		lp.r[i] = lp.sub.F[i] - lp.kp[i]
 	}
 	lp.charge(n)
 
@@ -208,7 +217,7 @@ func (lp *proc) solve() error {
 	}
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		lp.exchange(lp.pvec, lp.m.allColors, &lp.haloCommTime, &lp.haloExchanges)
+		lp.exchange(lp.pvec, lp.m.dec.AllColors, &lp.haloCommTime, &lp.haloExchanges)
 		lp.localKp()
 		pkp := lp.allReduce(lp.dotOwn(lp.pvec, lp.kp), opSum)
 		if pkp <= 0 {
@@ -263,7 +272,7 @@ func (lp *proc) solve() error {
 // applyPrecond sets rhat = M⁻¹·r (identity copy when M = 0).
 func (lp *proc) applyPrecond() {
 	if lp.m.cfg.M == 0 {
-		n := 2 * lp.nOwn
+		n := 2 * lp.sub.NOwn
 		copy(lp.rhat[:n], lp.r)
 		lp.charge(n)
 		return

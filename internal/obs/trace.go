@@ -53,6 +53,20 @@ func (t *Trace) Start(name string) *Span {
 	return s
 }
 
+// Record appends an already-measured, closed span: a stage whose timing
+// was observed outside the trace's live Start/End bracketing (e.g. the
+// per-subdomain halo/sweep/reduce breakdown a decomposed solve measures on
+// its own ranks and attributes to the trace afterwards). Unlike live
+// spans, recorded spans may overlap one another — concurrent stages sum
+// past wall time by design.
+func (t *Trace) Record(name string, start time.Time, d time.Duration) *Span {
+	s := &Span{tr: t, name: name, start: start, end: start.Add(d), worker: -1}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
 // Finish marks the whole trace complete (sets the total duration's end
 // point). Idempotent.
 func (t *Trace) Finish() {

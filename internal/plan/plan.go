@@ -31,6 +31,12 @@ const (
 	// BackendDIA forces diagonal (Madsen–Rodrigue–Karush) storage, the
 	// paper's CYBER 203/205 layout. Requires a square matrix.
 	BackendDIA
+	// BackendDecomposed runs the solve on the domain-decomposed parallel
+	// path — the paper's Finite Element Machine for real: the mesh is
+	// partitioned into subdomains, each owned by a dedicated goroutine
+	// processor with halo exchange and tree-reduced inner products.
+	// Requires a mesh-backed (plate) problem.
+	BackendDecomposed
 )
 
 func (b Backend) String() string {
@@ -41,12 +47,14 @@ func (b Backend) String() string {
 		return "csr"
 	case BackendDIA:
 		return "dia"
+	case BackendDecomposed:
+		return "decomposed"
 	}
 	return "?"
 }
 
-// ParseBackend resolves a backend name ("", "auto", "csr", "dia"); the
-// empty string means Auto.
+// ParseBackend resolves a backend name ("", "auto", "csr", "dia",
+// "decomposed"); the empty string means Auto.
 func ParseBackend(name string) (Backend, error) {
 	switch name {
 	case "", "auto":
@@ -55,8 +63,10 @@ func ParseBackend(name string) (Backend, error) {
 		return BackendCSR, nil
 	case "dia":
 		return BackendDIA, nil
+	case "decomposed":
+		return BackendDecomposed, nil
 	}
-	return 0, fmt.Errorf("plan: unknown backend %q (want auto, csr or dia)", name)
+	return 0, fmt.Errorf("plan: unknown backend %q (want auto, csr, dia or decomposed)", name)
 }
 
 // Auto-selection thresholds. Diagonal storage performs numDiags·n
@@ -157,6 +167,20 @@ const (
 	// bytesPerColumn is the block solve's resident vectors per batch
 	// column: r, r̂, p, Kp scratch plus u and f, 8 bytes per element.
 	bytesPerColumn = 6 * 8
+
+	// DefaultDecompMinBytes is the single-matrix footprint (CSR values +
+	// column indices + the solve's n-vectors) above which Auto prefers the
+	// decomposed backend for mesh-backed problems. Seeded from the
+	// vectorsim cost model's crossover: once K alone overflows the tile
+	// cache budget several times over (6× DefaultBudgetBytes), every CG
+	// iteration streams the whole matrix from memory, while P subdomains
+	// of footprint/P each can stay cache-resident and the halo traffic
+	// they add is a surface term (O(√(n/P)) per subdomain per iteration)
+	// against the volume term they save.
+	DefaultDecompMinBytes = 48 << 20
+	// bytesPerNNZ approximates a CSR entry's footprint: an 8-byte value
+	// plus a column index.
+	bytesPerNNZ = 16
 )
 
 // Planner turns solve inputs into execution plans. The zero value uses the
@@ -172,6 +196,26 @@ type Planner struct {
 	// MinTile floors the tile width for huge systems (default
 	// DefaultMinTile).
 	MinTile int
+	// DecompMinBytes is the matrix footprint above which Auto switches a
+	// mesh-backed problem to the decomposed backend (default
+	// DefaultDecompMinBytes).
+	DecompMinBytes int
+}
+
+// DecompInputs describes the mesh behind a solve — present only when the
+// problem is mesh-backed (a plate), which is what the decomposed backend
+// needs to partition. Nil Decomp means the backend is unavailable.
+type DecompInputs struct {
+	// Rows is the mesh's node-row count (row-strip partitions need
+	// Rows ≥ P).
+	Rows int
+	// FreeNodes is the number of unconstrained nodes (each processor must
+	// own at least one).
+	FreeNodes int
+	// Requested pins the subdomain count (0 = planner's choice).
+	Requested int
+	// MaxProcs bounds the subdomain count (the session's worker budget).
+	MaxProcs int
 }
 
 // Inputs describes one solve to the planner.
@@ -189,6 +233,11 @@ type Inputs struct {
 	M int
 	// Workers is the kernel goroutine budget available to the solve.
 	Workers int
+	// Decomp, when non-nil, describes the mesh behind the problem and
+	// enables the decomposed backend (Auto considers it; forcing
+	// BackendDecomposed without it plans a single subdomain and fails
+	// downstream where the mesh is truly required).
+	Decomp *DecompInputs
 }
 
 // Plan is the resolved execution decision for one solve: which storage the
@@ -206,6 +255,10 @@ type Plan struct {
 	Workers int
 	// M is the preconditioner step count the solve runs with.
 	M int
+	// Subdomains is the processor count of a decomposed plan (0 for the
+	// single-matrix backends): the mesh is partitioned this many ways and
+	// each subdomain gets a dedicated goroutine.
+	Subdomains int
 }
 
 // TileWidths reports the size of each tile (a compact summary for logs and
@@ -223,13 +276,17 @@ func (p Plan) TileWidths() []int {
 // future self-tuning planner) can correlate every decision with the
 // measured outcome it produced.
 func (p Plan) Attrs() map[string]any {
-	return map[string]any{
+	a := map[string]any{
 		"backend":     p.Backend.String(),
 		"tiles":       len(p.Tiles),
 		"tile_widths": p.TileWidths(),
 		"workers":     p.Workers,
 		"m":           p.M,
 	}
+	if p.Subdomains > 0 {
+		a["subdomains"] = p.Subdomains
+	}
+	return a
 }
 
 // Attrs flattens the probe into span attributes — the structural evidence
@@ -281,8 +338,16 @@ func (pl Planner) Plan(in Inputs) Plan {
 		backend = in.Policy
 	case probe != nil:
 		backend = probe.Choose(BackendAuto)
+		if in.Decomp != nil && pl.decompWins(probe, in.Decomp) {
+			backend = BackendDecomposed
+		}
 	default:
 		backend = BackendCSR
+	}
+
+	subdomains := 0
+	if backend == BackendDecomposed {
+		subdomains = subdomainCount(in.Decomp)
 	}
 
 	rows := 0
@@ -319,12 +384,62 @@ func (pl Planner) Plan(in Inputs) Plan {
 		workers = 1
 	}
 
+	if backend == BackendDecomposed {
+		// The subdomain goroutines are the parallelism: kernel fan-out per
+		// case is 1 and the batch runs as one untiled case sequence (each
+		// case occupies all P processors).
+		return Plan{
+			Backend:    backend,
+			Tiles:      tile(s, s),
+			Workers:    1,
+			M:          in.M,
+			Subdomains: subdomains,
+		}
+	}
+
 	return Plan{
 		Backend: backend,
 		Tiles:   tile(s, width),
 		Workers: workers,
 		M:       in.M,
 	}
+}
+
+// decompWins is Auto's rule for preferring the decomposed backend: the
+// single-matrix solve's footprint (CSR entries plus the six resident
+// n-vectors) exceeds the decomposition threshold and the mesh actually
+// yields at least two subdomains.
+func (pl Planner) decompWins(probe *Probe, dc *DecompInputs) bool {
+	minBytes := pl.DecompMinBytes
+	if minBytes <= 0 {
+		minBytes = DefaultDecompMinBytes
+	}
+	footprint := probe.NNZ*bytesPerNNZ + probe.Rows*bytesPerColumn
+	return footprint > minBytes && subdomainCount(dc) >= 2
+}
+
+// subdomainCount resolves a decomposed plan's processor count: the
+// requested pin, else the session's worker budget, clamped to what the
+// mesh can feed (row strips need a node row per processor, and every
+// processor must own a free node).
+func subdomainCount(dc *DecompInputs) int {
+	if dc == nil {
+		return 1
+	}
+	p := dc.Requested
+	if p <= 0 {
+		p = dc.MaxProcs
+	}
+	if dc.Rows > 0 && p > dc.Rows {
+		p = dc.Rows
+	}
+	if dc.FreeNodes > 0 && p > dc.FreeNodes {
+		p = dc.FreeNodes
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // tile partitions 0..s-1 into ⌈s/width⌉ contiguous, balanced groups (sizes

@@ -173,3 +173,81 @@ func banded(n int) *sparse.CSR {
 	}
 	return coo.ToCSR()
 }
+
+func TestParseBackendDecomposed(t *testing.T) {
+	b, err := ParseBackend("decomposed")
+	if err != nil || b != BackendDecomposed {
+		t.Fatalf("ParseBackend(decomposed) = %v, %v", b, err)
+	}
+	if b.String() != "decomposed" {
+		t.Fatalf("String() = %q", b.String())
+	}
+	if _, err := ParseBackend("ellpack"); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+}
+
+func TestPlanDecomposedAuto(t *testing.T) {
+	// A probe whose footprint clears the decomposition threshold: Auto with
+	// mesh facts available must pick the decomposed backend.
+	big := &Probe{Rows: 1 << 21, Cols: 1 << 21, NNZ: 40 << 20, MaxRowNNZ: 18, NumDiags: 47, Fill: 0.25}
+	dc := &DecompInputs{Rows: 1024, FreeNodes: 1 << 20, MaxProcs: 8}
+	p := (Planner{}).Plan(Inputs{Probe: big, Policy: BackendAuto, RHS: 3, Decomp: dc, Workers: 8})
+	if p.Backend != BackendDecomposed {
+		t.Fatalf("auto on a huge plate resolved to %v, want decomposed", p.Backend)
+	}
+	if p.Subdomains != 8 {
+		t.Errorf("subdomains = %d, want MaxProcs 8", p.Subdomains)
+	}
+	if p.Workers != 1 {
+		t.Errorf("decomposed plan workers = %d, want 1 (subdomains are the parallelism)", p.Workers)
+	}
+	checkTiles(t, p.Tiles, 3, 3) // one untiled case sequence
+	if got := p.Attrs()["subdomains"]; got != 8 {
+		t.Errorf("attrs subdomains = %v", got)
+	}
+
+	// Same probe without mesh facts: the decomposed backend is unavailable.
+	if got := (Planner{}).Plan(Inputs{Probe: big, Policy: BackendAuto}).Backend; got == BackendDecomposed {
+		t.Error("auto picked decomposed without DecompInputs")
+	}
+	// Small matrix with mesh facts: single-matrix still wins.
+	small := &Probe{Rows: 800, Cols: 800, NNZ: 14000, MaxRowNNZ: 18, NumDiags: 47, Fill: 0.37}
+	if got := (Planner{}).Plan(Inputs{Probe: small, Policy: BackendAuto, Decomp: dc}).Backend; got == BackendDecomposed {
+		t.Error("auto picked decomposed below the footprint threshold")
+	}
+	// A lowered threshold flips the small case.
+	lowered := Planner{DecompMinBytes: 1}
+	if got := lowered.Plan(Inputs{Probe: small, Policy: BackendAuto, Decomp: dc}).Backend; got != BackendDecomposed {
+		t.Errorf("lowered threshold resolved to %v, want decomposed", got)
+	}
+}
+
+func TestPlanDecomposedForcedAndClamped(t *testing.T) {
+	probe := &Probe{Rows: 288, Cols: 288, NNZ: 5000, MaxRowNNZ: 18, NumDiags: 47, Fill: 0.37}
+	// Forcing the backend works at any size; the requested pin wins over
+	// MaxProcs.
+	p := (Planner{}).Plan(Inputs{Probe: probe, Policy: BackendDecomposed,
+		Decomp: &DecompInputs{Rows: 13, FreeNodes: 144, Requested: 4, MaxProcs: 16}})
+	if p.Backend != BackendDecomposed || p.Subdomains != 4 {
+		t.Fatalf("forced plan = %v/%d, want decomposed/4", p.Backend, p.Subdomains)
+	}
+	// The subdomain count clamps to what the mesh can feed: node rows and
+	// free nodes both bound P.
+	p = (Planner{}).Plan(Inputs{Probe: probe, Policy: BackendDecomposed,
+		Decomp: &DecompInputs{Rows: 3, FreeNodes: 144, Requested: 64}})
+	if p.Subdomains != 3 {
+		t.Errorf("row clamp: subdomains = %d, want 3", p.Subdomains)
+	}
+	p = (Planner{}).Plan(Inputs{Probe: probe, Policy: BackendDecomposed,
+		Decomp: &DecompInputs{Rows: 100, FreeNodes: 2, Requested: 64}})
+	if p.Subdomains != 2 {
+		t.Errorf("free-node clamp: subdomains = %d, want 2", p.Subdomains)
+	}
+	// Forced without mesh facts plans a single subdomain (the engine then
+	// fails with the real reason).
+	p = (Planner{}).Plan(Inputs{Probe: probe, Policy: BackendDecomposed})
+	if p.Subdomains != 1 {
+		t.Errorf("meshless forced plan: subdomains = %d, want 1", p.Subdomains)
+	}
+}

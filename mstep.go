@@ -55,12 +55,18 @@ const (
 
 // Matrix storage backends for the CG matvec path (Config.Backend). The
 // default, BackendAuto, probes the matrix structure and picks diagonal
-// (CYBER-style) storage for banded-diagonal systems and CSR for scattered
-// fill; Result.Backend reports the storage a solve actually ran on.
+// (CYBER-style) storage for banded-diagonal systems, CSR for scattered
+// fill, and the domain-decomposed parallel path for plate problems too
+// large for one cache-resident matrix; Result.Backend reports the storage
+// a solve actually ran on. BackendDecomposed (plates only) partitions the
+// mesh into subdomains, each run by a dedicated goroutine with halo
+// exchange and tree-reduced inner products — the paper's Finite Element
+// Machine executed for real; Config.Subdomains pins its processor count.
 const (
-	BackendAuto = core.BackendAuto
-	BackendCSR  = core.BackendCSR
-	BackendDIA  = core.BackendDIA
+	BackendAuto       = core.BackendAuto
+	BackendCSR        = core.BackendCSR
+	BackendDIA        = core.BackendDIA
+	BackendDecomposed = core.BackendDecomposed
 )
 
 // Problem is an SPD system ready for the m-step PCG solver. Plate problems
@@ -384,10 +390,12 @@ func RunOnFEMachine(p *Problem, cfg FEMachineConfig) (FEMachineResult, error) {
 // model.
 func DefaultFEMachineTime() femachine.TimeModel { return femachine.DefaultTimeModel() }
 
-// Partition strategies for the Finite Element Machine.
+// Partition strategies for the Finite Element Machine and the decomposed
+// backend.
 const (
 	RowStrips = mesh.RowStrips
 	ColStrips = mesh.ColStrips
+	Blocks    = mesh.Blocks
 )
 
 // Solver service types: the resident daemon form of the library. A Service
