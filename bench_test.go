@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fem"
 	"repro/internal/femachine"
+	"repro/internal/kernel"
 	"repro/internal/mesh"
 	"repro/internal/model"
 	"repro/internal/plan"
@@ -516,6 +517,57 @@ func BenchmarkSpMM(b *testing.B) {
 			dia.MulMatTo(dst, x)
 		}
 	})
+}
+
+// BenchmarkKernelSpMM is the layout ablation behind the interleaved panel
+// path: the same 8-column SpMM over the cached 100×100 plate matrix, run
+// column-contiguous (MulMatTo) and row-interleaved (MulMatITo) under both
+// kernel sets. In the interleaved layout one gathered row index feeds all
+// eight columns from one cache line; the interleaved/accelerated variant is
+// the one the planner schedules for wide tiles.
+func BenchmarkKernelSpMM(b *testing.B) {
+	sys, _, err := core.PlateSystem(100, 100, fem.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sys.K
+	n := k.Rows
+	const s = 8
+	x := vec.NewMulti(n, s)
+	for i := range x.Data {
+		x.Data[i] = float64(i%13) - 6
+	}
+	dst := vec.NewMulti(n, s)
+	ix := x.Interleaved()
+	idst := vec.NewIMulti(n, s)
+	dia := sparse.MustDIAFromCSR(k)
+	for _, set := range []struct {
+		name string
+		impl *kernel.Impl
+	}{{"portable", kernel.Portable()}, {"active", kernel.Active()}} {
+		b.Run("csr/column/s=8/"+set.name, func(b *testing.B) {
+			// MulMatTo dispatches through the global active set; pin it so
+			// both rows of the ablation are honest.
+			if set.name == "portable" && kernel.Active().Name != "portable" {
+				b.Skip("column path always runs the startup-selected set")
+			}
+			for i := 0; i < b.N; i++ {
+				k.MulMatTo(dst, x)
+			}
+			b.ReportMetric(float64(k.NNZ())*s*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop-pairs/s")
+		})
+		b.Run("csr/interleaved/s=8/"+set.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k.MulMatITo(idst, ix, set.impl)
+			}
+			b.ReportMetric(float64(k.NNZ())*s*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop-pairs/s")
+		})
+		b.Run("dia/interleaved/s=8/"+set.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dia.MulMatITo(idst, ix, set.impl)
+			}
+		})
+	}
 }
 
 // BenchmarkSpMVBackends measures the CSR-vs-DIA matvec gap on the two

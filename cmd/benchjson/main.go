@@ -8,6 +8,12 @@
 // the standard ns/op, B/op and allocs/op alongside custom b.ReportMetric
 // series like solves/s, rhs/s, iterations or simulated-s — together with
 // the goos/goarch/cpu context lines and the package each benchmark ran in.
+//
+// With -diff the run is additionally compared against a committed baseline
+// report (a previous run's JSON), printing old → new with the percentage
+// change for every metric both runs share:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | go run ./cmd/benchjson -diff BENCH_PR7.json
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,12 +49,21 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	base := flag.String("diff", "", "baseline report (JSON from a previous run) to compare against")
 	flag.Parse()
 
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *base != "" {
+		baseline, err := loadReport(*base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		diff(os.Stdout, baseline, report)
 	}
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -56,7 +72,9 @@ func main() {
 	}
 	b = append(b, '\n')
 	if *out == "" {
-		os.Stdout.Write(b)
+		if *base == "" { // diff mode already owns stdout
+			os.Stdout.Write(b)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, b, 0o644); err != nil {
@@ -64,6 +82,61 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// loadReport reads a previously archived JSON report.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diff prints every metric the two reports share, old → new with the
+// percentage change, plus the benchmarks only one side has (renames and new
+// kernels should be visible, not silently dropped). Benchmarks are matched
+// by package + name, metrics by unit.
+func diff(w io.Writer, old, cur Report) {
+	key := func(r Result) string { return r.Pkg + "." + r.Name }
+	prev := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[key(r)] = r
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	fmt.Fprintf(w, "%-72s %-14s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, r := range cur.Benchmarks {
+		seen[key(r)] = true
+		o, ok := prev[key(r)]
+		if !ok {
+			fmt.Fprintf(w, "%-72s %-14s %14s\n", r.Name, "(new)", "-")
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			if _, shared := o.Metrics[u]; shared {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, nv := o.Metrics[u], r.Metrics[u]
+			delta := "-"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Fprintf(w, "%-72s %-14s %14.4g %14.4g %9s\n", r.Name, u, ov, nv, delta)
+		}
+	}
+	for _, r := range old.Benchmarks {
+		if !seen[key(r)] {
+			fmt.Fprintf(w, "%-72s %-14s %14s\n", r.Name, "(removed)", "-")
+		}
+	}
 }
 
 func parse(r io.Reader) (Report, error) {

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Fake CPU @ 2.10GHz
+BenchmarkKernelSpMM/csr/column/s=8/active-8         100   2000000 ns/op   0.80 Gflop-pairs/s
+BenchmarkKernelSpMM/csr/interleaved/s=8/active-8    300   1000000 ns/op   1.90 Gflop-pairs/s
+PASS
+`
+
+func parseSample(t *testing.T, text string) Report {
+	t.Helper()
+	rep, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBenchLines(t *testing.T) {
+	rep := parseSample(t, sample)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Fake") {
+		t.Fatalf("context lines: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Pkg != "repro" || b.Procs != 8 || b.Runs != 300 {
+		t.Fatalf("benchmark line: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 1e6 || b.Metrics["Gflop-pairs/s"] != 1.9 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := parseSample(t, sample)
+	cur := parseSample(t, strings.NewReplacer(
+		"2000000", "1500000",
+		"interleaved", "panel",
+	).Replace(sample))
+	var sb strings.Builder
+	diff(&sb, old, cur)
+	out := sb.String()
+	if !strings.Contains(out, "-25.0%") {
+		t.Fatalf("missing ns/op delta:\n%s", out)
+	}
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "(removed)") {
+		t.Fatalf("renamed benchmark not surfaced on both sides:\n%s", out)
+	}
+}

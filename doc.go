@@ -28,6 +28,13 @@
 //	})
 //	fmt.Println(res.Stats.Iterations, "iterations")
 //
+// The solver's fused inner loops (SpMM, block dot/axpy, the multicolor
+// sweep) dispatch through internal/kernel: CPU feature detection selects
+// an accelerated implementation set at startup, wide batch tiles run on a
+// row-interleaved panel layout, and REPRO_KERNEL=portable (or
+// Config.Kernel) forces the portable reference set — bit-identical
+// results either way, so the knob only changes speed.
+//
 // Beyond one-shot solves, the Solver interface is a session that
 // amortizes setup across requests and streams per-case results: NewLocal
 // embeds the solver engine in process, and the client package drives a

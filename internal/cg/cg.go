@@ -74,6 +74,20 @@ type Options struct {
 	// allocate or block (the steady-state solve path stays allocation-free
 	// with an Observer attached — see the AllocsPerRun guards).
 	Observer Observer
+	// Interleave requests the row-interleaved panel layout for block
+	// solves: the block is converted once at entry, iterated on with the
+	// fused interleaved kernels, and converted back as columns finish. It
+	// is honored only when both the operator and the preconditioner can
+	// serve interleaved panels (sparse.InterleavedOperator and
+	// precond.InterleavedApplier); otherwise the column-contiguous path
+	// runs and BlockStats.Interleaved reports false. Column iterates are
+	// bit-identical either way. Scalar solves ignore it.
+	Interleave bool
+	// Kernel selects the kernel set for the interleaved block path: "" or
+	// "auto" for the startup-selected set, "portable" for the reference
+	// set (kernel.Select). The column-contiguous path always uses the
+	// startup-selected set.
+	Kernel string
 }
 
 // Observer receives per-iteration convergence telemetry. col is the

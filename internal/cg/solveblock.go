@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/precond"
 	"repro/internal/sparse"
 	"repro/internal/vec"
@@ -30,6 +31,13 @@ type BlockStats struct {
 	InnerProducts int
 	// Converged reports that every column converged.
 	Converged bool
+	// Interleaved reports that the solve ran on the row-interleaved panel
+	// layout (Options.Interleave honored by both operator and
+	// preconditioner).
+	Interleaved bool
+	// Kernel names the kernel set the solve's fused loops ran through
+	// ("portable", "avx2", "neon").
+	Kernel string
 	// Cols holds per-column statistics indexed by right-hand-side:
 	// Iterations is the count while the column was active, FinalUDiff /
 	// FinalRelRes are its last stopping-test values. Cols aliases the
@@ -61,6 +69,14 @@ type BlockWorkspace struct {
 	// columns deflate; kernels receive these so the steady state stays
 	// allocation-free.
 	rv, rhatv, pv, kpv vec.Multi
+
+	// Interleaved panels and views for the panel-layout path (see
+	// solveblocki.go), allocated lazily on the first interleaved solve; ui
+	// holds the iterate in panel form, pinf/rnorm the fused per-column
+	// norm results.
+	ri, rhati, pi, kpi, ui      *vec.IMulti
+	riv, rhativ, piv, kpiv, uiv vec.IMulti
+	pinf, rnorm                 []float64
 
 	// Per-slot scalars (slot = position in the active prefix).
 	rho, pkp, alpha, beta, normF []float64
@@ -197,13 +213,18 @@ func SolveBlockInto(u *vec.Multi, k sparse.Operator, f *vec.Multi, m precond.Pre
 		ws = NewBlockWorkspace(n, s)
 	}
 	ws.ensure(n, s)
+	if opt.Interleave {
+		if ik, ok := k.(sparse.InterleavedOperator); ok && precond.CanApplyInterleaved(m) {
+			return solveBlockInterleaved(u, ik, f, m, opt, ws)
+		}
+	}
 	ws.block(n, s)
 	w := opt.Workers
 	if w < 1 {
 		w = 1
 	}
 
-	st := BlockStats{RHS: s, Cols: ws.cols, ColErrs: ws.errs}
+	st := BlockStats{RHS: s, Cols: ws.cols, ColErrs: ws.errs, Kernel: kernel.Active().Name}
 	for j := range ws.cols {
 		ws.cols[j] = Stats{TrueRelRes: -1}
 		ws.errs[j] = nil

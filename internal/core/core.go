@@ -13,6 +13,7 @@ import (
 	"repro/internal/cg"
 	"repro/internal/eigen"
 	"repro/internal/fem"
+	"repro/internal/kernel"
 	"repro/internal/plan"
 	"repro/internal/poly"
 	"repro/internal/precond"
@@ -118,6 +119,12 @@ type Config struct {
 	// works from the CSR form). The zero value is BackendAuto: probe the
 	// structure and pick DIA for banded-diagonal systems, CSR otherwise.
 	Backend Backend
+	// Kernel selects the kernel set the fused solver loops run through:
+	// "" or "auto" uses the set CPU feature detection picked at startup,
+	// "portable" forces the reference implementations (the same override
+	// REPRO_KERNEL=portable applies process-wide). Any other value is
+	// rejected. Column iterates are bit-identical across kernel sets.
+	Kernel string
 	// TileBudgetBytes bounds the multivector working set of one batch tile
 	// in SolveBatch: wide batches are split by the planner into cache-sized
 	// column tiles executed sequentially (0 = plan.DefaultBudgetBytes).
@@ -143,6 +150,12 @@ type Result struct {
 	// Backend is the matvec storage the solve actually ran on ("csr" or
 	// "dia") — the resolved form of Config.Backend.
 	Backend string
+	// Kernel is the kernel set the solve's fused loops ran through
+	// ("portable", "avx2", "neon") — the resolved form of Config.Kernel.
+	Kernel string
+	// Interleaved reports that a batch solve ran its tiles on the
+	// row-interleaved panel layout (always false for scalar solves).
+	Interleaved bool
 }
 
 // BuildSplitting constructs the configured splitting for a system.
@@ -285,12 +298,15 @@ func Solve(sys System, cfg Config) (Result, error) {
 	if sys.K == nil || len(sys.F) != sys.K.Rows {
 		return Result{}, fmt.Errorf("core: malformed system (K nil or |F|=%d != n)", len(sys.F))
 	}
+	if !kernel.ValidName(cfg.Kernel) {
+		return Result{}, fmt.Errorf("core: unknown kernel policy %q (want auto or portable)", cfg.Kernel)
+	}
 	p, a, iv, err := BuildPreconditioner(sys, cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	pl := cfg.planner().Plan(plan.Inputs{
-		K: sys.K, Policy: cfg.Backend, RHS: 1, M: cfg.M, Workers: cfg.Workers,
+		K: sys.K, Policy: cfg.Backend, RHS: 1, M: cfg.M, Workers: cfg.Workers, Kernel: cfg.Kernel,
 	})
 	op, backend, err := operatorFor(sys.K, pl.Backend)
 	if err != nil {
@@ -306,7 +322,7 @@ func Solve(sys System, cfg Config) (Result, error) {
 		History:        cfg.History,
 		Workers:        pl.Workers,
 	})
-	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv, Backend: backend.String()}
+	res := Result{U: u, Stats: st, Precond: p.Name(), Alphas: a, Interval: iv, Backend: backend.String(), Kernel: pl.Kernel}
 	return res, err
 }
 
@@ -332,12 +348,15 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 			return nil, fmt.Errorf("core: rhs %d length %d != n %d", j, len(f), n)
 		}
 	}
+	if !kernel.ValidName(cfg.Kernel) {
+		return nil, fmt.Errorf("core: unknown kernel policy %q (want auto or portable)", cfg.Kernel)
+	}
 	p, a, iv, err := BuildPreconditioner(sys, cfg)
 	if err != nil {
 		return nil, err
 	}
 	pl := cfg.planner().Plan(plan.Inputs{
-		K: sys.K, Policy: cfg.Backend, RHS: len(fs), M: cfg.M, Workers: cfg.Workers,
+		K: sys.K, Policy: cfg.Backend, RHS: len(fs), M: cfg.M, Workers: cfg.Workers, Kernel: cfg.Kernel,
 	})
 	op, backend, err := operatorFor(sys.K, pl.Backend)
 	if err != nil {
@@ -351,6 +370,8 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 		RelResidualTol: cfg.RelResidualTol,
 		MaxIter:        cfg.MaxIter,
 		Workers:        pl.Workers,
+		Interleave:     pl.Interleave,
+		Kernel:         cfg.Kernel,
 	}
 	// Execute the plan's column tiles sequentially, reusing one workspace:
 	// each tile's multivector working set stays inside the planner's cache
@@ -372,12 +393,14 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 		}
 		for i, c := range tileCols {
 			out[c] = Result{
-				U:        vec.Clone(u.Col(i)),
-				Stats:    bst.Cols[i],
-				Precond:  p.Name(),
-				Alphas:   a,
-				Interval: iv,
-				Backend:  backend.String(),
+				U:           vec.Clone(u.Col(i)),
+				Stats:       bst.Cols[i],
+				Precond:     p.Name(),
+				Alphas:      a,
+				Interval:    iv,
+				Backend:     backend.String(),
+				Kernel:      bst.Kernel,
+				Interleaved: bst.Interleaved,
 			}
 		}
 	}

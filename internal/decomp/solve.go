@@ -7,6 +7,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"repro/internal/kernel"
 )
 
 // Solver errors. All ranks reduce the same quantities, so every rank takes
@@ -140,6 +142,7 @@ type worker struct {
 	links *Links[[]float64]
 	red   *treeReducer
 	opt   Options
+	kern  *kernel.Impl // dispatch table for the local dot/gather kernels
 
 	u, r, kp   []float64 // own dofs
 	rhat, pvec []float64 // own + halo dofs
@@ -174,7 +177,8 @@ func newWorker(d *Decomposition, sd *Subdomain, links *Links[[]float64], red *tr
 	nd := 2 * sd.NOwn
 	w := &worker{
 		d: d, sd: sd, links: links, red: red, opt: opt,
-		u: make([]float64, nd), r: make([]float64, nd), kp: make([]float64, nd),
+		kern: kernel.Active(),
+		u:    make([]float64, nd), r: make([]float64, nd), kp: make([]float64, nd),
 		rhat: make([]float64, 2*sd.NAll), pvec: make([]float64, 2*sd.NAll),
 		ycache:   make([]float64, nd),
 		f:        make([]float64, nd),
@@ -256,23 +260,16 @@ func (w *worker) reduce(v [2]float64, op reduceOp) [2]float64 {
 	return out
 }
 
-func dot(a, b []float64) float64 {
-	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
-	}
-	return s
+// dot is the worker's local inner product, routed through the kernel
+// dispatch table (same accumulation order as the portable loop).
+func (w *worker) dot(a, b []float64) float64 {
+	return w.kern.Dot(a, b)
 }
 
 // rowSum accumulates Σ Vals[k]·x[Cols[k]] over the half-open entry range
 // [lo, hi).
 func (w *worker) rowSum(lo, hi int32, x []float64) float64 {
-	cols, vals := w.sd.Cols, w.sd.Vals
-	var s float64
-	for k := lo; k < hi; k++ {
-		s += vals[k] * x[cols[k]]
-	}
-	return s
+	return w.kern.GatherDot32(w.sd.Vals[lo:hi], w.sd.Cols[lo:hi], x)
 }
 
 // kpNodes computes kp = K·p rows for both components of the listed local
@@ -406,7 +403,7 @@ func (w *worker) run() error {
 	// r⁰ = f with u⁰ = 0 (no initial product, matching cg.SolveInto).
 	copy(w.r, w.f)
 
-	sf := dot(w.f, w.f)
+	sf := w.dot(w.f, w.f)
 	normF := math.Sqrt(w.reduce([2]float64{sf, 0}, opSum)[0])
 	if normF == 0 {
 		normF = 1
@@ -415,7 +412,7 @@ func (w *worker) run() error {
 
 	w.applyPrecond()
 	copy(w.pvec[:n], w.rhat[:n])
-	rho := w.reduce([2]float64{dot(w.rhat[:n], w.r), 0}, opSum)[0]
+	rho := w.reduce([2]float64{w.dot(w.rhat[:n], w.r), 0}, opSum)[0]
 	w.innerProducts++
 	if rho == 0 {
 		w.converged = true
@@ -433,7 +430,7 @@ func (w *worker) run() error {
 		w.drain()
 		w.kpNodes(w.sd.Border)
 		w.matVecs++
-		pkpLocal := dot(w.pvec[:n], w.kp)
+		pkpLocal := w.dot(w.pvec[:n], w.kp)
 
 		pkp := w.reduce([2]float64{pkpLocal, 0}, opSum)[0]
 		w.innerProducts++
@@ -472,7 +469,7 @@ func (w *worker) run() error {
 		for i := 0; i < n; i++ {
 			w.r[i] -= alpha * w.kp[i]
 		}
-		sr := dot(w.r, w.r)
+		sr := w.dot(w.r, w.r)
 		relres := math.Sqrt(w.reduce([2]float64{sr, 0}, opSum)[0]) / normF
 		w.innerProducts++
 		w.finalRelRes = relres
@@ -487,7 +484,7 @@ func (w *worker) run() error {
 		}
 
 		w.applyPrecond()
-		rhoNext := w.reduce([2]float64{dot(w.rhat[:n], w.r), 0}, opSum)[0]
+		rhoNext := w.reduce([2]float64{w.dot(w.rhat[:n], w.r), 0}, opSum)[0]
 		w.innerProducts++
 		if rhoNext < 0 {
 			w.accountSweep(it0, h0, r0)

@@ -299,6 +299,7 @@ func (s *Engine) planInputs(cfg core.Config, probe *plan.Probe, plate *fem.Plate
 		RHS:     rhs,
 		M:       cfg.M,
 		Workers: s.workersFor(cfg),
+		Kernel:  cfg.Kernel,
 	}
 	if plate != nil && decompCompatible(cfg) {
 		in.Decomp = &plan.DecompInputs{
@@ -352,6 +353,8 @@ func planInfo(pl plan.Plan) PlanInfo {
 		Workers:    pl.Workers,
 		M:          pl.M,
 		Subdomains: pl.Subdomains,
+		Kernel:     pl.Kernel,
+		Interleave: pl.Interleave,
 	}
 }
 
@@ -746,6 +749,8 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 		History:        cfg.History,
 		Workers:        pl.Workers,
 		Ctx:            job.ctx,
+		Interleave:     pl.Interleave,
+		Kernel:         cfg.Kernel,
 	}
 	if opts.Tol <= 0 && opts.RelResidualTol <= 0 {
 		opts.Tol = 1e-6
@@ -1024,6 +1029,7 @@ func (s *Engine) runTiles(job *Job, op sparse.Operator, plate *fem.Plate, pc pre
 			SetAttr("case_first", tileCols[0]).
 			SetAttr("case_last", tileCols[len(tileCols)-1])
 		st, err := cg.SolveBlockInto(u, op, vec.MultiFromCols(cols), pc, topts, bws)
+		sp.SetAttr("kernel", st.Kernel).SetAttr("interleaved", st.Interleaved)
 		sp.SetIterations(st.Iterations).End()
 		s.countTile(st.Iterations)
 		res.Iterations += st.Iterations

@@ -39,6 +39,12 @@ type PlanInfo struct {
 	// partitioned this many ways, each subdomain run by a dedicated
 	// goroutine (0 for the single-matrix backends).
 	Subdomains int `json:"subdomains,omitempty"`
+	// Kernel names the kernel set the solve's fused loops ran through
+	// ("portable", "avx2", "neon").
+	Kernel string `json:"kernel,omitempty"`
+	// Interleave reports that the tiles ran on the row-interleaved panel
+	// layout.
+	Interleave bool `json:"interleave,omitempty"`
 }
 
 // JobResult reports a finished solve.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fem"
+	"repro/internal/kernel"
 	"repro/internal/plan"
 	"repro/internal/sparse"
 )
@@ -123,6 +124,11 @@ type SolverSpec struct {
 	// goroutine). 0 lets the planner pick from the session's worker budget;
 	// ignored by the single-matrix backends.
 	Subdomains int `json:"subdomains,omitempty"`
+	// Kernel selects the kernel set the fused solver loops run through:
+	// "auto" (or empty) uses the set CPU feature detection picked at
+	// startup, "portable" forces the reference implementations. The plan
+	// reports the set actually used.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Request is one unit of work: exactly one of Plate, System, or Prebuilt,
@@ -280,6 +286,9 @@ func (req *Request) Validate() error {
 	if _, err := core.ParseBackend(strings.ToLower(req.Solver.Backend)); err != nil {
 		return err
 	}
+	if k := strings.ToLower(req.Solver.Kernel); !kernel.ValidName(k) {
+		return fmt.Errorf("engine: unknown kernel policy %q (want auto or portable)", req.Solver.Kernel)
+	}
 	return nil
 }
 
@@ -345,6 +354,7 @@ func (s SolverSpec) CoreConfig(isPlate bool) (core.Config, error) {
 		MaxIter:        s.MaxIter,
 		Backend:        b,
 		Subdomains:     s.Subdomains,
+		Kernel:         strings.ToLower(s.Kernel),
 	}, nil
 }
 

@@ -1,0 +1,38 @@
+//go:build amd64
+
+package kernel
+
+// Implemented in features_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// detect returns the "avx2" set when the CPU advertises AVX2 and FMA and the
+// OS has enabled YMM state (OSXSAVE set and XCR0 covering XMM|YMM) — the
+// features the unrolled loops compile into under GOAMD64=v3. Anything less
+// capable runs the portable set; the unrolled code itself is pure Go, so the
+// gate is about naming the set honestly, not about safety.
+func detect() *Impl {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return nil
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return nil
+	}
+	if xlo, _ := xgetbv(); xlo&0x6 != 0x6 {
+		return nil
+	}
+	const avx2 = 1 << 5
+	if _, ebx7, _, _ := cpuid(7, 0); ebx7&avx2 == 0 {
+		return nil
+	}
+	impl := unrolledImpl
+	impl.Name = "avx2"
+	return &impl
+}

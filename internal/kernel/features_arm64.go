@@ -1,0 +1,12 @@
+//go:build arm64
+
+package kernel
+
+// detect returns the "neon" set: NEON (ASIMD) is baseline on arm64, so the
+// unrolled loops are always profitable there and no runtime probing is
+// needed.
+func detect() *Impl {
+	impl := unrolledImpl
+	impl.Name = "neon"
+	return &impl
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package kernel
+
+// detect reports no accelerated set on architectures without a tuned
+// variant; the portable set runs everywhere.
+func detect() *Impl { return nil }

@@ -14,6 +14,7 @@ package plan
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/sparse"
 )
 
@@ -168,6 +169,14 @@ const (
 	// column: r, r̂, p, Kp scratch plus u and f, 8 bytes per element.
 	bytesPerColumn = 6 * 8
 
+	// DefaultWideBlockThreshold is the tile width at which the block solve
+	// switches to the row-interleaved panel layout: narrow blocks (s = 1
+	// scalar solves above all) keep the column-contiguous layout, whose
+	// per-column zero-copy slices cost nothing, while wide tiles convert at
+	// the tile boundary so each gathered matrix row feeds every column from
+	// one cache line.
+	DefaultWideBlockThreshold = 4
+
 	// DefaultDecompMinBytes is the single-matrix footprint (CSR values +
 	// column indices + the solve's n-vectors) above which Auto prefers the
 	// decomposed backend for mesh-backed problems. Seeded from the
@@ -200,6 +209,10 @@ type Planner struct {
 	// mesh-backed problem to the decomposed backend (default
 	// DefaultDecompMinBytes).
 	DecompMinBytes int
+	// WideBlockThreshold is the smallest tile width planned onto the
+	// row-interleaved panel layout (default DefaultWideBlockThreshold);
+	// negative disables interleaving entirely.
+	WideBlockThreshold int
 }
 
 // DecompInputs describes the mesh behind a solve — present only when the
@@ -233,6 +246,10 @@ type Inputs struct {
 	M int
 	// Workers is the kernel goroutine budget available to the solve.
 	Workers int
+	// Kernel is the kernel-set policy for the solve: "" or "auto" for the
+	// startup-selected set, "portable" to force the reference set
+	// (kernel.Select resolves it).
+	Kernel string
 	// Decomp, when non-nil, describes the mesh behind the problem and
 	// enables the decomposed backend (Auto considers it; forcing
 	// BackendDecomposed without it plans a single subdomain and fails
@@ -259,6 +276,13 @@ type Plan struct {
 	// single-matrix backends): the mesh is partitioned this many ways and
 	// each subdomain gets a dedicated goroutine.
 	Subdomains int
+	// Interleave reports that the tiles run on the row-interleaved panel
+	// layout (every tile is at least WideBlockThreshold columns wide and
+	// the backend serves interleaved panels).
+	Interleave bool
+	// Kernel names the kernel set the solve's fused loops run through
+	// ("portable", "avx2", "neon") — the resolved form of Inputs.Kernel.
+	Kernel string
 }
 
 // TileWidths reports the size of each tile (a compact summary for logs and
@@ -282,6 +306,8 @@ func (p Plan) Attrs() map[string]any {
 		"tile_widths": p.TileWidths(),
 		"workers":     p.Workers,
 		"m":           p.M,
+		"kernel":      p.Kernel,
+		"interleave":  p.Interleave,
 	}
 	if p.Subdomains > 0 {
 		a["subdomains"] = p.Subdomains
@@ -387,21 +413,43 @@ func (pl Planner) Plan(in Inputs) Plan {
 	if backend == BackendDecomposed {
 		// The subdomain goroutines are the parallelism: kernel fan-out per
 		// case is 1 and the batch runs as one untiled case sequence (each
-		// case occupies all P processors).
+		// case occupies all P processors). Local sweeps dispatch through the
+		// startup-selected kernel set.
 		return Plan{
 			Backend:    backend,
 			Tiles:      tile(s, s),
 			Workers:    1,
 			M:          in.M,
 			Subdomains: subdomains,
+			Kernel:     kernel.Active().Name,
 		}
 	}
 
+	tiles := tile(s, width)
+	wide := pl.WideBlockThreshold
+	if wide == 0 {
+		wide = DefaultWideBlockThreshold
+	}
+	// Balanced tiling keeps widths within one of each other, so the last
+	// tile is the narrowest; interleave only when every tile clears the
+	// threshold (s = 1 scalar solves never do).
+	interleave := wide > 0 && len(tiles[len(tiles)-1]) >= wide
+
+	// Only the interleaved panel path threads a per-solve kernel policy;
+	// every other path dispatches through the process-wide startup set
+	// (kernel.Active), so the plan records the set that will actually run.
+	kernelName := kernel.Active().Name
+	if interleave {
+		kernelName = kernel.Select(in.Kernel).Name
+	}
+
 	return Plan{
-		Backend: backend,
-		Tiles:   tile(s, width),
-		Workers: workers,
-		M:       in.M,
+		Backend:    backend,
+		Tiles:      tiles,
+		Workers:    workers,
+		M:          in.M,
+		Interleave: interleave,
+		Kernel:     kernelName,
 	}
 }
 

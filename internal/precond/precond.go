@@ -9,6 +9,7 @@ package precond
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/poly"
 	"repro/internal/splitting"
 	"repro/internal/vec"
@@ -49,6 +50,35 @@ func ApplyBlock(p Preconditioner, z, r *vec.Multi) {
 	}
 }
 
+// InterleavedApplier is the row-interleaved-panel fast path: preconditioners
+// that can serve a whole panel in one fused sweep implement it. Column j of
+// the result must equal Apply on column j exactly — the BlockApplier
+// contract carried over to the interleaved layout.
+type InterleavedApplier interface {
+	// CanApplyInterleaved reports whether the fused interleaved path is
+	// available for this preconditioner's configuration. Callers (the block
+	// CG solver) decide their block layout from this up front; there is no
+	// per-apply fallback.
+	CanApplyInterleaved() bool
+	// ApplyInterleaved computes z_j = M⁻¹·r_j for every live column of the
+	// panels; impl selects the kernel set (nil means the startup-selected
+	// one). z must not alias r; z and r must share one stride.
+	ApplyInterleaved(z, r *vec.IMulti, impl *kernel.Impl)
+}
+
+// CanApplyInterleaved reports whether p can serve interleaved panels
+// directly — the layout probe behind the solvers' wide-block fast path.
+func CanApplyInterleaved(p Preconditioner) bool {
+	ia, ok := p.(InterleavedApplier)
+	return ok && ia.CanApplyInterleaved()
+}
+
+// ApplyInterleaved computes z = M⁻¹·r over interleaved panels. The caller
+// must have checked CanApplyInterleaved.
+func ApplyInterleaved(p Preconditioner, z, r *vec.IMulti, impl *kernel.Impl) {
+	p.(InterleavedApplier).ApplyInterleaved(z, r, impl)
+}
+
 // Identity is the trivial preconditioner M = I: plain conjugate gradient.
 type Identity struct{}
 
@@ -57,6 +87,12 @@ func (Identity) Apply(z, r []float64) { copy(z, r) }
 
 // ApplyBlock copies r into z.
 func (Identity) ApplyBlock(z, r *vec.Multi) { copy(z.Data, r.Data) }
+
+// CanApplyInterleaved reports true: a copy works on any layout.
+func (Identity) CanApplyInterleaved() bool { return true }
+
+// ApplyInterleaved copies r into z.
+func (Identity) ApplyInterleaved(z, r *vec.IMulti, _ *kernel.Impl) { copy(z.Data, r.Data) }
 
 // Name identifies the preconditioner.
 func (Identity) Name() string { return "none" }
@@ -69,10 +105,11 @@ func (Identity) Steps() int { return 0 }
 // fused Conrad–Wallach sweeps of Algorithm 2) the fast path is used;
 // otherwise m parametrized stationary steps are taken.
 type MStep struct {
-	Split     splitting.Splitting
-	Alphas    poly.Alphas
-	fast      splitting.MStepApplier
-	fastBlock splitting.MStepBlockApplier
+	Split           splitting.Splitting
+	Alphas          poly.Alphas
+	fast            splitting.MStepApplier
+	fastBlock       splitting.MStepBlockApplier
+	fastInterleaved splitting.MStepInterleavedApplier
 }
 
 // NewMStep builds the m-step preconditioner; m = Alphas.M() must be ≥ 1.
@@ -86,6 +123,9 @@ func NewMStep(sp splitting.Splitting, a poly.Alphas) (*MStep, error) {
 	}
 	if fb, ok := sp.(splitting.MStepBlockApplier); ok {
 		m.fastBlock = fb
+	}
+	if fi, ok := sp.(splitting.MStepInterleavedApplier); ok {
+		m.fastInterleaved = fi
 	}
 	return m, nil
 }
@@ -115,6 +155,19 @@ func (m *MStep) ApplyBlock(z, r *vec.Multi) {
 	for j := 0; j < z.S; j++ {
 		m.Apply(z.Col(j), r.Col(j))
 	}
+}
+
+// CanApplyInterleaved reports whether the splitting has a fused interleaved
+// sweep for its configuration (the multicolor SSOR does at ω = 1).
+func (m *MStep) CanApplyInterleaved() bool {
+	return m.fastInterleaved != nil && m.fastInterleaved.CanApplyMStepInterleaved()
+}
+
+// ApplyInterleaved computes z_j = M_m⁻¹·r_j over interleaved panels through
+// the splitting's fused sweep. The caller must have checked
+// CanApplyInterleaved.
+func (m *MStep) ApplyInterleaved(z, r *vec.IMulti, impl *kernel.Impl) {
+	m.fastInterleaved.ApplyMStepInterleaved(z, r, m.Alphas.Coeffs, impl)
 }
 
 // Name identifies the preconditioner, e.g. "3-step ssor-multicolor

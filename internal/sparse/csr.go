@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/kernel"
 	"repro/internal/vec"
 )
 
@@ -96,57 +97,13 @@ func (a *CSR) MulMatTo(dst, x *vec.Multi) {
 	a.mulMatRange(dst, x, 0, a.Rows)
 }
 
-// spmmTile is the column-tile width of the fused SpMM inner loop: a row's
-// index/value pair is loaded once per tile and fanned out across up to
-// spmmTile column accumulators held in a fixed-size stack array.
-const spmmTile = 8
-
-// mulMatRange runs the SpMM over the row range [lo, hi). Each row's entry
-// list is scanned once per column tile (not once per column), with the
-// tile's partial sums accumulating in registers; per-column summation
-// order still matches MulVecTo exactly.
+// mulMatRange runs the SpMM over the row range [lo, hi) via the fused
+// column-tiled kernel (kernel.SpMMCSRCols): each row's entry list is scanned
+// once per column tile (not once per column), with the tile's partial sums
+// accumulating in registers; per-column summation order still matches
+// MulVecTo exactly.
 func (a *CSR) mulMatRange(dst, x *vec.Multi, lo, hi int) {
-	n, s := a.Cols, x.S
-	dn := dst.N
-	if s < 4 {
-		// Narrow blocks lose more to tile bookkeeping than fused row
-		// scans save; run the plain per-column row products.
-		for i := lo; i < hi; i++ {
-			start, end := a.RowPtr[i], a.RowPtr[i+1]
-			for j := 0; j < s; j++ {
-				base := j * n
-				var sum float64
-				for k := start; k < end; k++ {
-					sum += a.Val[k] * x.Data[base+a.ColIdx[k]]
-				}
-				dst.Data[j*dn+i] = sum
-			}
-		}
-		return
-	}
-	for i := lo; i < hi; i++ {
-		start, end := a.RowPtr[i], a.RowPtr[i+1]
-		for c0 := 0; c0 < s; c0 += spmmTile {
-			cw := s - c0
-			if cw > spmmTile {
-				cw = spmmTile
-			}
-			var sums [spmmTile]float64
-			for k := start; k < end; k++ {
-				v := a.Val[k]
-				base := c0*n + a.ColIdx[k]
-				for t := 0; t < cw; t++ {
-					sums[t] += v * x.Data[base]
-					base += n
-				}
-			}
-			base := c0*dn + i
-			for t := 0; t < cw; t++ {
-				dst.Data[base] = sums[t]
-				base += dn
-			}
-		}
-	}
+	kernel.SpMMCSRCols(a.RowPtr, a.ColIdx, a.Val, x.Data, a.Cols, dst.Data, dst.N, lo, hi, x.S)
 }
 
 // ParMulMatTo is MulMatTo with rows partitioned across up to `workers`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/kernel"
 	"repro/internal/vec"
 )
 
@@ -206,18 +207,7 @@ func (a *DIA) ToCSR() *CSR {
 }
 
 // diagRange returns the half-open row range [lo, hi) over which diagonal d
-// lies inside an n×n matrix.
+// lies inside an n×n matrix (shared with the interleaved DIA kernels).
 func diagRange(n, d int) (lo, hi int) {
-	lo = 0
-	if d < 0 {
-		lo = -d
-	}
-	hi = n
-	if d > 0 {
-		hi = n - d
-	}
-	if hi < lo {
-		hi = lo
-	}
-	return lo, hi
+	return kernel.DiagRange(n, d)
 }

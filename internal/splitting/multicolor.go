@@ -3,6 +3,7 @@ package splitting
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
@@ -26,6 +27,7 @@ type SixColorSSOR struct {
 	y     []float64 // Conrad–Wallach cache, one value per unknown
 	yb    []float64 // block-apply cache, one value per unknown per column
 	omega float64
+	ka    kernel.SweepArgs // reused matrix-side argument block for the fused sweeps
 }
 
 // NewSixColorSSOR builds the multicolor SSOR splitting (ω = 1, the paper's
@@ -255,101 +257,59 @@ func (s *SixColorSSOR) ApplyMStepBlock(rhat, r *vec.Multi, alphas []float64) {
 	if cap(s.yb) < n*ns {
 		s.yb = make([]float64, n*ns)
 	}
-	yb := s.yb[:n*ns]
-	for i := range rhat.Data {
-		rhat.Data[i] = 0
-	}
-	for i := range yb {
-		yb[i] = 0
-	}
-	// Row entries are scanned once per column tile (not once per column):
-	// each K value/index pair loads once and fans out across up to
-	// sweepTile per-column block sums held in a fixed-size stack array.
+	// The fused body lives in kernel.SweepCSRCols: row entries are scanned
+	// once per column tile (not once per column), each K value/index pair
+	// loading once and fanning out across the tile's per-column block sums.
 	// Per-column arithmetic order still matches lowerSum/upperSum exactly
 	// (−a−b ≡ −(a+b) in IEEE arithmetic, negation being exact).
-	const sweepTile = 8
-	ng := s.numGroups()
-	for step := 1; step <= m; step++ {
-		alpha := alphas[m-step]
-		// Forward half-sweep: x = fresh lower block sums, yb = cached
-		// upper sums from the previous backward half-sweep.
-		for c := 0; c < ng; c++ {
-			lo, hi := s.Start[c], s.Start[c+1]
-			cache := c < ng-1
-			for i := lo; i < hi; i++ {
-				rowStart, rowEnd := s.K.RowPtr[i], s.K.RowPtr[i+1]
-				di := s.d[i]
-				for c0 := 0; c0 < ns; c0 += sweepTile {
-					cw := ns - c0
-					if cw > sweepTile {
-						cw = sweepTile
-					}
-					var sums [sweepTile]float64
-					for p := rowStart; p < rowEnd; p++ {
-						j := s.K.ColIdx[p]
-						if j >= lo {
-							break // columns sorted; rest are within-group or upper
-						}
-						v := s.K.Val[p]
-						base := c0*n + j
-						for t := 0; t < cw; t++ {
-							sums[t] -= v * rhat.Data[base]
-							base += n
-						}
-					}
-					base := c0*n + i
-					for t := 0; t < cw; t++ {
-						x := sums[t]
-						rhat.Data[base] = (x + yb[base] + alpha*r.Data[base]) / di
-						if cache {
-							yb[base] = x
-						}
-						base += n
-					}
-				}
-			}
-		}
-		// Backward half-sweep: colors descending, skipping the last color
-		// (identical re-solve); the color-1 solve is elided until the
-		// final step, as in ApplyMStep. x = fresh upper block sums,
-		// yb = cached lower sums from the forward half-sweep.
-		for c := ng - 2; c >= 0; c-- {
-			lo, hi := s.Start[c], s.Start[c+1]
-			solve := c > 0 || step == m
-			for i := lo; i < hi; i++ {
-				rowStart, rowEnd := s.K.RowPtr[i], s.K.RowPtr[i+1]
-				di := s.d[i]
-				for c0 := 0; c0 < ns; c0 += sweepTile {
-					cw := ns - c0
-					if cw > sweepTile {
-						cw = sweepTile
-					}
-					var sums [sweepTile]float64
-					for p := rowEnd - 1; p >= rowStart; p-- {
-						j := s.K.ColIdx[p]
-						if j < hi {
-							break
-						}
-						v := s.K.Val[p]
-						base := c0*n + j
-						for t := 0; t < cw; t++ {
-							sums[t] -= v * rhat.Data[base]
-							base += n
-						}
-					}
-					base := c0*n + i
-					for t := 0; t < cw; t++ {
-						x := sums[t]
-						if solve {
-							rhat.Data[base] = (x + yb[base] + alpha*r.Data[base]) / di
-						}
-						yb[base] = x
-						base += n
-					}
-				}
-			}
-		}
+	s.sweepArgs(alphas)
+	kernel.SweepCSRCols(&s.ka, rhat.Data, r.Data, s.yb[:n*ns], n, ns)
+}
+
+// sweepArgs refreshes the reused kernel argument block for a fused sweep.
+func (s *SixColorSSOR) sweepArgs(alphas []float64) {
+	s.ka = kernel.SweepArgs{
+		RowPtr: s.K.RowPtr,
+		ColIdx: s.K.ColIdx,
+		Val:    s.K.Val,
+		Start:  s.Start,
+		Diag:   s.d,
+		Alphas: alphas,
 	}
+}
+
+// CanApplyMStepInterleaved reports whether the fused interleaved sweep is
+// available: the Conrad–Wallach elisions it builds on are exact only at
+// ω = 1.
+func (s *SixColorSSOR) CanApplyMStepInterleaved() bool { return s.omega == 1 }
+
+// ApplyMStepInterleaved is ApplyMStepBlock over row-interleaved panels: the
+// s per-column block sums of a gathered row read from adjacent memory, and
+// impl selects the kernel set (nil means the startup-selected one). Column j
+// reproduces ApplyMStep on column j exactly. Callers must check
+// CanApplyMStepInterleaved first; rhat and r must share one stride.
+func (s *SixColorSSOR) ApplyMStepInterleaved(rhat, r *vec.IMulti, alphas []float64, impl *kernel.Impl) {
+	m := len(alphas)
+	if m < 1 {
+		panic("splitting: ApplyMStepInterleaved needs at least one step")
+	}
+	if !s.CanApplyMStepInterleaved() {
+		panic("splitting: ApplyMStepInterleaved needs ω = 1 (check CanApplyMStepInterleaved)")
+	}
+	n := s.K.Rows
+	if rhat.N != n || r.N != n || r.S != rhat.S || r.Stride != rhat.Stride {
+		panic(fmt.Sprintf("splitting: ApplyMStepInterleaved dims: K %d×%d, r %d×%d/%d, rhat %d×%d/%d",
+			n, n, r.N, r.S, r.Stride, rhat.N, rhat.S, rhat.Stride))
+	}
+	if impl == nil {
+		impl = kernel.Active()
+	}
+	st := rhat.Stride
+	if cap(s.yb) < n*st {
+		s.yb = make([]float64, n*st)
+	}
+	s.sweepArgs(alphas)
+	impl.SweepCSRI(&s.ka, rhat.Data, r.Data, s.yb[:n*st], st, n, rhat.S)
 }
 
 // GroupLengths returns the size of each color group — the vector lengths of

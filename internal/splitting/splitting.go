@@ -19,6 +19,7 @@ package splitting
 import (
 	"fmt"
 
+	"repro/internal/kernel"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
@@ -55,6 +56,22 @@ type MStepBlockApplier interface {
 	// ApplyMStepBlock computes r̂_j = M_m⁻¹·r_j for every column j, with
 	// m = len(alphas).
 	ApplyMStepBlock(rhat, r *vec.Multi, alphas []float64)
+}
+
+// MStepInterleavedApplier is the row-interleaved-panel fast path: the fused
+// block sweep over vec.IMulti panels, dispatched through internal/kernel.
+// Column j of the result must equal ApplyMStep on column j exactly, the same
+// contract as MStepBlockApplier.
+type MStepInterleavedApplier interface {
+	// CanApplyMStepInterleaved reports whether the interleaved sweep is
+	// available for this splitting's configuration (the multicolor SSOR's
+	// fused elisions need ω = 1). Callers decide their block layout from
+	// this before building interleaved workspace.
+	CanApplyMStepInterleaved() bool
+	// ApplyMStepInterleaved computes r̂_j = M_m⁻¹·r_j for every live column
+	// of the panels, with m = len(alphas); impl selects the kernel set (nil
+	// means the startup-selected one). rhat and r must share one stride.
+	ApplyMStepInterleaved(rhat, r *vec.IMulti, alphas []float64, impl *kernel.Impl)
 }
 
 // Jacobi is the splitting P = diag(K): the m-step preconditioner it

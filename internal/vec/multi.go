@@ -3,6 +3,8 @@ package vec
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/kernel"
 )
 
 // Multi is a column-block multivector: S dense vectors of length N stored
@@ -108,9 +110,7 @@ func checkScalars(op string, got, want int) {
 func MultiDot(x, y *Multi, dst []float64) {
 	x.checkShape("MultiDot", y)
 	checkScalars("MultiDot", len(dst), x.S)
-	for j := 0; j < x.S; j++ {
-		dst[j] = Dot(x.Col(j), y.Col(j))
-	}
+	kernel.MultiDotCols(x.Data, y.Data, x.N, x.S, dst)
 }
 
 // MultiAxpy computes y_j += alphas[j] * x_j for every column.

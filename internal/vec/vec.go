@@ -11,26 +11,24 @@ package vec
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/kernel"
 )
 
-// Dot returns the inner product (x, y) = xᵀy.
+// Dot returns the inner product (x, y) = xᵀy, through the startup-selected
+// kernel set (both sets accumulate in index order, so the result is
+// set-independent).
 // It panics if the lengths differ; a length mismatch is a programming error,
 // not a runtime condition, everywhere in this library.
 func Dot(x, y []float64) float64 {
 	checkLen("Dot", len(x), len(y))
-	var s float64
-	for i, xi := range x {
-		s += xi * y[i]
-	}
-	return s
+	return kernel.Active().Dot(x, y)
 }
 
 // Axpy computes y += a*x in place.
 func Axpy(a float64, x, y []float64) {
 	checkLen("Axpy", len(x), len(y))
-	for i, xi := range x {
-		y[i] += a * xi
-	}
+	kernel.Active().Axpy(a, x, y)
 }
 
 // AxpyTo computes dst = y + a*x without touching x or y.
@@ -47,9 +45,7 @@ func AxpyTo(dst []float64, a float64, x, y []float64) {
 // This is the CG direction update p = r̂ + β p.
 func Xpay(x []float64, a float64, y []float64) {
 	checkLen("Xpay", len(x), len(y))
-	for i, xi := range x {
-		y[i] = xi + a*y[i]
-	}
+	kernel.Active().Xpay(x, a, y)
 }
 
 // Scale multiplies x by a in place.
