@@ -14,6 +14,14 @@
 // change for every metric both runs share:
 //
 //	go test -run='^$' -bench=. -benchtime=1x ./... | go run ./cmd/benchjson -diff BENCH_PR7.json
+//
+// -fail-over turns the diff into a regression gate: when any shared metric
+// regresses by more than the given percentage — slower ns/op, more B/op or
+// allocs/op, fewer of a /s throughput unit — the offenders are listed and
+// the exit status is 1. Units whose direction is ambiguous (iterations,
+// simulated-s, …) are never gated.
+//
+//	... | go run ./cmd/benchjson -diff BENCH_PR7.json -fail-over 25
 package main
 
 import (
@@ -50,6 +58,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	base := flag.String("diff", "", "baseline report (JSON from a previous run) to compare against")
+	failOver := flag.Float64("fail-over", 0, "with -diff: exit 1 when a direction-aware metric regresses by more than this percentage (0 = report only)")
 	flag.Parse()
 
 	report, err := parse(os.Stdin)
@@ -57,6 +66,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	failed := false
 	if *base != "" {
 		baseline, err := loadReport(*base)
 		if err != nil {
@@ -64,6 +74,12 @@ func main() {
 			os.Exit(1)
 		}
 		diff(os.Stdout, baseline, report)
+		if *failOver > 0 {
+			for _, r := range regressions(baseline, report, *failOver) {
+				fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+				failed = true
+			}
+		}
 	}
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -75,13 +91,67 @@ func main() {
 		if *base == "" { // diff mode already owns stdout
 			os.Stdout.Write(b)
 		}
-		return
+	} else {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// metricDirection reports whether a unit regresses upward (+1: ns/op, B/op,
+// allocs/op — more is worse), downward (-1: any /s throughput — less is
+// worse), or has no gateable direction (0).
+func metricDirection(unit string) int {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return +1
+	}
+	if strings.HasSuffix(unit, "/s") {
+		return -1
+	}
+	return 0
+}
+
+// regressions lists every shared, direction-aware metric that moved the
+// wrong way by more than pct percent of the baseline value.
+func regressions(old, cur Report, pct float64) []string {
+	key := func(r Result) string { return r.Pkg + "." + r.Name }
+	prev := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		prev[key(r)] = r
+	}
+	var out []string
+	for _, r := range cur.Benchmarks {
+		o, ok := prev[key(r)]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			if _, shared := o.Metrics[u]; shared {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			dir := metricDirection(u)
+			ov, nv := o.Metrics[u], r.Metrics[u]
+			if dir == 0 || ov == 0 {
+				continue
+			}
+			change := (nv - ov) / ov * 100 * float64(dir)
+			if change > pct {
+				out = append(out, fmt.Sprintf("%s %s %.4g -> %.4g (%+.1f%% over the %.4g%% gate)",
+					r.Name, u, ov, nv, (nv-ov)/ov*100, pct))
+			}
+		}
+	}
+	return out
 }
 
 // loadReport reads a previously archived JSON report.

@@ -56,3 +56,53 @@ func TestDiff(t *testing.T) {
 		t.Fatalf("renamed benchmark not surfaced on both sides:\n%s", out)
 	}
 }
+
+func TestMetricDirection(t *testing.T) {
+	cases := map[string]int{
+		"ns/op":         +1,
+		"B/op":          +1,
+		"allocs/op":     +1,
+		"rhs/s":         -1,
+		"solves/s":      -1,
+		"Gflop-pairs/s": -1,
+		"iterations":    0,
+		"simulated-s":   0,
+	}
+	for unit, want := range cases {
+		if got := metricDirection(unit); got != want {
+			t.Errorf("metricDirection(%q) = %d, want %d", unit, got, want)
+		}
+	}
+}
+
+func TestRegressionsGate(t *testing.T) {
+	old := parseSample(t, sample)
+
+	// 50% slower ns/op and 40% lower throughput on the first benchmark:
+	// both directions must trip a 25% gate.
+	cur := parseSample(t, strings.NewReplacer(
+		"2000000 ns/op   0.80", "3000000 ns/op   0.48",
+	).Replace(sample))
+	regs := regressions(old, cur, 25)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %d: %v", len(regs), regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "BenchmarkKernelSpMM/csr/column/s=8") {
+			t.Errorf("regression names wrong benchmark: %s", r)
+		}
+	}
+
+	// The same run clears a 60% gate.
+	if regs := regressions(old, cur, 60); len(regs) != 0 {
+		t.Fatalf("60%% gate should pass, got %v", regs)
+	}
+
+	// Improvements never trip the gate, whichever direction the unit runs.
+	faster := parseSample(t, strings.NewReplacer(
+		"2000000 ns/op   0.80", "1000000 ns/op   1.60",
+	).Replace(sample))
+	if regs := regressions(old, faster, 1); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}

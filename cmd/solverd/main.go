@@ -7,7 +7,7 @@
 // Usage:
 //
 //	solverd -addr :8080 [-workers 4] [-worker-budget 0] [-queue 256]
-//	        [-cache 64] [-tile-budget 8388608] [-drain 30s]
+//	        [-cache 64] [-tile-budget 8388608] [-tuning adapt] [-drain 30s]
 //	        [-log-format text] [-debug-addr :6060]
 //
 // API:
@@ -18,7 +18,10 @@
 //	                     "system":{"fs":[[...],...]} solve as one block job
 //	POST   /v1/plan      same body (minus "async"): returns the execution
 //	                     plan — backend, column tiles, workers, m — the
-//	                     service would run it with, without solving
+//	                     service would run it with, without solving; for a
+//	                     warm problem past the observation gate the plan
+//	                     carries its self-tuning evidence (every candidate's
+//	                     measured rhs/s and cost-model prediction)
 //	GET    /v1/jobs/{id} job status and result; with "Accept:
 //	                     text/event-stream" (or "?watch=1" for chunked JSON
 //	                     lines) streams each load case's result as it
@@ -65,9 +68,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/plan"
 	"repro/internal/service"
 )
 
@@ -81,6 +86,7 @@ func main() {
 		tileBudget = flag.Int("tile-budget", 0, "batch tile cache budget in bytes (0 = planner default)")
 		queue      = flag.Int("queue", 256, "job queue depth (further submissions get 503)")
 		cache      = flag.Int("cache", 64, "problem/preconditioner cache entries")
+		tuning     = flag.String("tuning", "adapt", "plan feedback default for requests that don't pin solver.tuning: off, observe or adapt")
 		history    = flag.Int("history", 512, "finished jobs kept for /v1/jobs lookups")
 		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight jobs and streams")
 	)
@@ -98,6 +104,11 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	if _, err := plan.ParseTuning(strings.ToLower(*tuning)); err != nil {
+		slog.Error("invalid -tuning (want off, observe or adapt)", "got", *tuning)
+		os.Exit(2)
+	}
+
 	svc := service.New(service.Config{
 		Workers:         *workers,
 		WorkerBudget:    *budget,
@@ -105,6 +116,7 @@ func main() {
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		HistoryLimit:    *history,
+		Tuning:          strings.ToLower(*tuning),
 		Logger:          logger,
 	})
 

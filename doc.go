@@ -40,6 +40,16 @@
 // embeds the solver engine in process, and the client package drives a
 // remote solverd daemon through the identical contract.
 //
+// The execution planner is self-tuning: every warm solve feeds its
+// realized throughput back into a per-problem tuner, and once enough
+// observations accumulate the engine executes the best measured (or
+// cost-model-predicted) candidate from a bounded neighborhood around the
+// static plan — m, tile width, workers, interleave — with the decision's
+// full candidate table attached to Solver.Plan, POST /v1/plan and
+// JobResult.Plan. The solver spec's "tuning" field selects the policy:
+// "adapt" (default), "observe" (collect evidence, execute statically),
+// or "off" (the static plan bit-for-bit, for reproducibility).
+//
 // The session is observable end to end: every job records a stage
 // timeline (queue wait, cache checkout, assembly, preconditioner build,
 // planning, per-tile solves) plus a sampled per-iteration convergence
@@ -51,5 +61,6 @@
 //
 // See README.md and the examples/ directory (examples/quickstart,
 // examples/embed, examples/batch, examples/stream, examples/service,
-// examples/observe, examples/decomposed) for the full tour.
+// examples/observe, examples/decomposed, examples/tune) for the full
+// tour.
 package repro

@@ -133,6 +133,15 @@ type Config struct {
 	// planner picks from the worker budget and mesh shape). Only
 	// meaningful for mesh-backed problems routed through the engine.
 	Subdomains int
+	// Tuning is the self-tuning planner's feedback policy: "" or "adapt"
+	// lets warm engine sessions re-plan from measured throughput,
+	// "observe" records evidence without adapting, "off" pins the static
+	// plan bit-for-bit. Any other value is rejected. The one-shot Solve /
+	// SolveBatch paths have no observation store, so the knob only gates
+	// validation there; the engine is where it takes effect. Deliberately
+	// excluded from the engine's problem cache key — it is an execution
+	// policy, not part of the prepared problem.
+	Tuning string
 }
 
 // planner returns the execution planner the config's budgets select.
@@ -301,6 +310,9 @@ func Solve(sys System, cfg Config) (Result, error) {
 	if !kernel.ValidName(cfg.Kernel) {
 		return Result{}, fmt.Errorf("core: unknown kernel policy %q (want auto or portable)", cfg.Kernel)
 	}
+	if _, err := plan.ParseTuning(cfg.Tuning); err != nil {
+		return Result{}, err
+	}
 	p, a, iv, err := BuildPreconditioner(sys, cfg)
 	if err != nil {
 		return Result{}, err
@@ -350,6 +362,9 @@ func SolveBatch(sys System, fs [][]float64, cfg Config) ([]Result, error) {
 	}
 	if !kernel.ValidName(cfg.Kernel) {
 		return nil, fmt.Errorf("core: unknown kernel policy %q (want auto or portable)", cfg.Kernel)
+	}
+	if _, err := plan.ParseTuning(cfg.Tuning); err != nil {
+		return nil, err
 	}
 	p, a, iv, err := BuildPreconditioner(sys, cfg)
 	if err != nil {

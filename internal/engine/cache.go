@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/poly"
 	"repro/internal/precond"
 	"repro/internal/sparse"
+	"repro/internal/vectorsim"
 )
 
 // cacheEntry is one fully-prepared problem: the assembled system, the
@@ -60,7 +62,29 @@ type cacheEntry struct {
 	probeOnce sync.Once
 	probeVal  plan.Probe
 
+	// costVal memoizes the vectorsim cost analysis of the entry's system —
+	// the paper's eq. (4.1) breakdown the self-tuning planner uses as its
+	// prior for unmeasured step counts. Needs the multicolor group
+	// boundaries; general systems without them memoize the error instead.
+	costOnce sync.Once
+	costVal  vectorsim.CostBreakdown
+	costErr  error
+
+	// alts holds per-step-count preconditioner pools for tuned plans whose
+	// M differs from the request's: the splitting and pinned spectral
+	// interval are shared with the main pool, so an alternate-M rebuild
+	// never re-runs the power method.
+	altMu sync.Mutex
+	alts  map[int]*altPrecond
+
 	pool sync.Pool // of precond.Preconditioner
+}
+
+// altPrecond is one alternate step count's preconditioner pool.
+type altPrecond struct {
+	pool   sync.Pool
+	alphas poly.Alphas
+	name   string
 }
 
 // build does the expensive setup exactly once per entry: plate assembly (or
@@ -162,6 +186,63 @@ func (e *cacheEntry) checkout() (precond.Preconditioner, error) {
 }
 
 func (e *cacheEntry) release(p precond.Preconditioner) { e.pool.Put(p) }
+
+// checkoutM takes a preconditioner built for m steps instead of the
+// entry's configured count — how a tuned plan's M±1 candidates execute
+// against a problem cached at another m. The first checkout of each
+// alternate count builds it (reusing the pinned spectral interval and the
+// entry's splitting configuration); later checkouts pool like the main
+// path. The returned release puts the instance back.
+func (e *cacheEntry) checkoutM(m int) (precond.Preconditioner, poly.Alphas, string, func(precond.Preconditioner), error) {
+	if m == e.cfg.M {
+		p, err := e.checkout()
+		return p, e.alphas, e.precond, e.release, err
+	}
+	e.altMu.Lock()
+	alt, ok := e.alts[m]
+	e.altMu.Unlock()
+	if ok {
+		if p, pok := alt.pool.Get().(precond.Preconditioner); pok && p != nil {
+			return p, alt.alphas, alt.name, alt.put, nil
+		}
+	}
+	cfg := e.cfg
+	cfg.M = m
+	p, alphas, _, err := core.BuildPreconditioner(e.sys, cfg)
+	if err != nil {
+		return nil, poly.Alphas{}, "", nil, err
+	}
+	if alt == nil {
+		alt = &altPrecond{alphas: alphas, name: p.Name()}
+		e.altMu.Lock()
+		if prev, ok := e.alts[m]; ok {
+			alt = prev
+		} else {
+			if e.alts == nil {
+				e.alts = make(map[int]*altPrecond)
+			}
+			e.alts[m] = alt
+		}
+		e.altMu.Unlock()
+	}
+	return p, alt.alphas, alt.name, alt.put, nil
+}
+
+func (a *altPrecond) put(p precond.Preconditioner) { a.pool.Put(p) }
+
+// costModel returns the entry's memoized vectorsim analysis: the cost of
+// one CG iteration (A) and one preconditioner step (B) on the model
+// machine, the self-tuning planner's prior for unmeasured step counts.
+func (e *cacheEntry) costModel() (vectorsim.CostBreakdown, error) {
+	e.costOnce.Do(func() {
+		if len(e.sys.GroupStart) < 2 {
+			e.costErr = fmt.Errorf("%w: no multicolor group boundaries", vectorsim.ErrDegenerate)
+			return
+		}
+		e.costVal, e.costErr = vectorsim.Analyze(vectorsim.Cyber203(), e.sys.K, e.sys.GroupStart, 0)
+	})
+	return e.costVal, e.costErr
+}
 
 // cacheShards caps the number of independently-locked cache segments. Keys
 // hash to a shard, so concurrent batch traffic on distinct problems

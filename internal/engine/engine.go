@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,11 @@ type Config struct {
 	HistoryLimit int
 	// LatencyWindow sizes the latency sample for p50/p99 (default 1024).
 	LatencyWindow int
+	// Tuning is the session default feedback policy for requests that do
+	// not pin their own ("off", "observe" or "adapt"; empty means adapt):
+	// whether the engine folds each executed plan's realized throughput
+	// back into later plan decisions. See plan.TuningMode.
+	Tuning string
 	// Logger receives structured job-lifecycle logs (submitted, started,
 	// finished, failed) with job ids attached. nil discards them — the
 	// engine never logs to a default destination a library caller didn't
@@ -107,6 +114,13 @@ type Engine struct {
 	hQueueWait   *obs.Histogram
 	hJobDuration map[string]*obs.Histogram // by backend label
 	hCaseIters   *obs.Histogram
+	hPlanRHS     *obs.Histogram
+
+	// tuner closes the plan → execute → measure loop: every cached solve's
+	// realized rhs/s is folded into its per-problem observation store, and
+	// warm problems re-plan from the measurements (policy per request via
+	// SolverSpec.Tuning, session default via Config.Tuning).
+	tuner *plan.Tuner
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -128,6 +142,7 @@ type Engine struct {
 	solvesDIA        int64
 	solvesDecomposed int64
 	tilesExecuted    int64
+	planFeedback     int64 // executed plans whose throughput fed the tuner
 	streamSubs       int64 // current streaming subscribers (gauge)
 
 	started time.Time
@@ -155,6 +170,7 @@ func New(cfg Config) *Engine {
 			"decomposed": newLatencyRing(cfg.LatencyWindow),
 		},
 		jobs:    make(map[string]*Job),
+		tuner:   &plan.Tuner{},
 		started: time.Now(),
 	}
 	s.registerMetrics()
@@ -248,7 +264,9 @@ func (s *Engine) Cancel(id string) bool {
 // just for the probe (never inserted into the cache, and no preconditioner
 // or spectral interval is built — planning must stay far cheaper than
 // solving). Either way a later solve of the same request reports an
-// identical JobResult.Plan.
+// identical JobResult.Plan — including the self-tuning evidence: a warm
+// problem past the observation gate explains its decision with every
+// candidate's measured throughput and cost-model prior.
 func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 	if err := req.Validate(); err != nil {
 		return PlanInfo{}, err
@@ -256,6 +274,17 @@ func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 	cfg, err := req.coreConfig()
 	if err != nil {
 		return PlanInfo{}, err
+	}
+	// The peek never creates or touches an entry; an entry only exists if a
+	// solve created it, in which case it is already built (or building —
+	// the once blocks until that build publishes, exactly like a solve
+	// joining the build race).
+	var entry *cacheEntry
+	if e, ok := s.cache.peek(req.cacheKey()); ok {
+		e.once.Do(func() { e.build(&req, nil) })
+		if e.err == nil {
+			entry = e
+		}
 	}
 	var probe *plan.Probe
 	var plate *fem.Plate
@@ -265,14 +294,9 @@ func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 			probe = pb.Probe
 		}
 	}
-	if probe == nil {
-		if entry, ok := s.cache.peek(req.cacheKey()); ok {
-			entry.once.Do(func() { entry.build(&req, nil) })
-			if entry.err == nil {
-				probe = entry.structureProbe()
-				plate = entry.plate
-			}
-		}
+	if probe == nil && entry != nil {
+		probe = entry.structureProbe()
+		plate = entry.plate
 	}
 	if probe == nil {
 		sys, pl, err := req.assemble()
@@ -283,8 +307,14 @@ func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 		probe = &p
 		plate = pl
 	}
-	pl := s.plannerFor(cfg).Plan(s.planInputs(cfg, probe, plate, req.batchSize()))
-	return planInfo(pl), nil
+	in := s.planInputs(cfg, probe, plate, req.batchSize())
+	pl := s.plannerFor(cfg).Plan(in)
+	mode := s.tuningFor(cfg)
+	var dec plan.Decision
+	if mode != plan.TuningOff && entry != nil {
+		pl, dec = s.tuner.Decide(entry.key, s.plannerFor(cfg), in, pl, s.priorFor(entry), mode == plan.TuningAdapt)
+	}
+	return planInfo(pl, mode, dec), nil
 }
 
 // planInputs assembles the planner's inputs for one solve: the structure
@@ -345,9 +375,50 @@ func (s *Engine) workersFor(cfg core.Config) int {
 	return s.cfg.WorkerBudget
 }
 
-// planInfo shapes a resolved plan for job results and the HTTP API.
-func planInfo(pl plan.Plan) PlanInfo {
-	return PlanInfo{
+// tuningFor resolves a solve's feedback policy: the request's knob, then
+// the engine's session default, then adapt. Unknown names are rejected at
+// Validate, so parsing cannot fail on the request path; a malformed
+// programmatic engine default falls back to off (the static planner).
+func (s *Engine) tuningFor(cfg core.Config) plan.TuningMode {
+	name := cfg.Tuning
+	if name == "" {
+		name = s.cfg.Tuning
+	}
+	mode, err := plan.ParseTuning(strings.ToLower(name))
+	if err != nil {
+		return plan.TuningOff
+	}
+	return mode
+}
+
+// priorFor derives the tuner's cost-model prior from the entry's memoized
+// vectorsim analysis. Eq. (4.1) prices one iteration at A + m·B while the
+// iteration count of m-step PCG scales like 1/√(m+1), so a candidate step
+// count's predicted throughput relative to the reference is t(ref)/t(cand)
+// with t(m) = (A + m·B)/√(m+1). The model holds no opinion on non-M
+// differences (ratio 1), and degenerate systems get no prior at all.
+func (s *Engine) priorFor(entry *cacheEntry) plan.PriorFunc {
+	cb, err := entry.costModel()
+	if err != nil || cb.A <= 0 {
+		return nil
+	}
+	t := func(m int) float64 {
+		return (cb.A + float64(m)*cb.B) / math.Sqrt(float64(m)+1)
+	}
+	return func(ref, cand plan.Signature) float64 {
+		if cand.M == ref.M {
+			return 1
+		}
+		return t(ref.M) / t(cand.M)
+	}
+}
+
+// planInfo shapes a resolved plan for job results and the HTTP API,
+// including the tuning evidence: which policy governed the decision, how
+// the plan was chosen, and every candidate considered with its measured
+// and predicted throughput.
+func planInfo(pl plan.Plan, mode plan.TuningMode, d plan.Decision) PlanInfo {
+	info := PlanInfo{
 		Backend:    pl.Backend.String(),
 		Tiles:      pl.Tiles,
 		Workers:    pl.Workers,
@@ -355,7 +426,32 @@ func planInfo(pl plan.Plan) PlanInfo {
 		Subdomains: pl.Subdomains,
 		Kernel:     pl.Kernel,
 		Interleave: pl.Interleave,
+		Tuning:     mode.String(),
+		Source:     d.Source,
 	}
+	if info.Source == "" {
+		info.Source = "static"
+	}
+	if len(d.Candidates) > 0 {
+		info.Candidates = make([]PlanCandidate, len(d.Candidates))
+		for i, c := range d.Candidates {
+			info.Candidates[i] = PlanCandidate{
+				Backend:             c.Signature.Backend.String(),
+				TileWidth:           c.Signature.TileWidth,
+				Workers:             c.Signature.Workers,
+				M:                   c.Signature.M,
+				Interleave:          c.Signature.Interleave,
+				Kernel:              c.Signature.Kernel,
+				MeasuredRHSPerSec:   c.Measured,
+				Observations:        c.Observations,
+				SecondsPerIteration: c.IterSeconds,
+				PredictedRHSPerSec:  c.Prior,
+				Score:               c.Score,
+				Chosen:              c.Chosen,
+			}
+		}
+	}
+	return info
 }
 
 // ViewOf snapshots a job the caller already holds — unlike Job(id) it
@@ -447,6 +543,7 @@ func (s *Engine) Stats() Stats {
 	st.SolvesDIA = s.solvesDIA
 	st.SolvesDecomposed = s.solvesDecomposed
 	st.TilesExecuted = s.tilesExecuted
+	st.PlanFeedback = s.planFeedback
 	st.StreamSubscribers = s.streamSubs
 	s.cmu.Unlock()
 	if total := hits + misses; total > 0 {
@@ -682,11 +779,45 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 		p := plan.NewProbe(sys.K)
 		probe = &p
 	}
-	pl := s.plannerFor(cfg).Plan(s.planInputs(cfg, probe, plate, len(fs)))
+	in := s.planInputs(cfg, probe, plate, len(fs))
+	pl := s.plannerFor(cfg).Plan(in)
+
+	// Close the loop: past the observation gate a warm problem re-plans
+	// from its measured throughput (adapt) or at least explains what the
+	// measurements say (observe). A tuned step count checks out an
+	// alternate-M preconditioner from the entry; if that build fails the
+	// candidate is recorded as infeasible and the static M runs.
+	mode := s.tuningFor(cfg)
+	var tdec plan.Decision
+	if mode != plan.TuningOff && entry != nil {
+		static := pl
+		tuned, d := s.tuner.Decide(entry.key, s.plannerFor(cfg), in, static, s.priorFor(entry), mode == plan.TuningAdapt)
+		tdec = d
+		if mode == plan.TuningAdapt {
+			if tuned.M != static.M {
+				p2, a2, n2, rel2, aerr := entry.checkoutM(tuned.M)
+				if aerr != nil {
+					s.tuner.Observe(entry.key, tuned.Signature(), plan.Observation{})
+					tuned.M = static.M
+				} else {
+					// The original checkout's deferred release captured the
+					// original pc; the alternate returns to its own pool.
+					pc, alphas, name = p2, a2, n2
+					defer rel2(p2)
+				}
+			}
+			pl = tuned
+		}
+	}
+
 	for k, v := range pl.Attrs() {
 		planSp.SetAttr(k, v)
 	}
 	planSp.SetAttr("probe", probe.Attrs())
+	planSp.SetAttr("tuning", mode.String())
+	if tdec.Source != "" {
+		planSp.SetAttr("plan_source", tdec.Source)
+	}
 	planSp.End()
 
 	// A decomposed plan replaces the single-matrix operator with a P-way
@@ -759,6 +890,7 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 	// Execute + emit.
 	job.initCases(len(fs))
 	var res *JobResult
+	execStart := time.Now()
 	switch {
 	case dec != nil:
 		res, err = s.runDecomposed(job, dec, plate, fs, cfg, alphas, opts, workerID)
@@ -767,10 +899,11 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 	default:
 		res, err = s.runScalar(job, op, plate, pc, fs[0], opts, ws, workerID)
 	}
+	execSeconds := time.Since(execStart).Seconds()
 	emitEnd := phase("emit")
 	res.Precond = name
 	res.Backend = pl.Backend.String()
-	info := planInfo(pl)
+	info := planInfo(pl, mode, tdec)
 	res.Plan = &info
 	res.IntervalLo, res.IntervalHi = iv.Lo, iv.Hi
 	if alphas.M() > 0 {
@@ -778,6 +911,31 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 		res.Alphas = &a
 	}
 	emitEnd()
+
+	// Feedback: fold the executed plan's realized throughput back into the
+	// tuner's observation store. Only clean cached solves count — errors
+	// and cancellations would poison the estimates, uncached problems have
+	// no store to feed, and a decomposed plan's execution shape is owned by
+	// the mesh partition, not the tuner.
+	if mode != plan.TuningOff && err == nil && entry != nil && pl.Backend != plan.BackendDecomposed {
+		rhsPerSec := 0.0
+		if execSeconds > 0 {
+			rhsPerSec = float64(len(fs)) / execSeconds
+		}
+		iterSec := execSeconds
+		if res.Iterations > 0 {
+			iterSec = execSeconds / float64(res.Iterations)
+		}
+		job.trace.Start("feedback").SetWorker(workerID).
+			SetAttr("rhs_per_second", rhsPerSec).
+			SetAttr("seconds_per_iteration", iterSec).
+			End()
+		s.tuner.Observe(entry.key, pl.Signature(), plan.Observation{RHSPerSec: rhsPerSec, IterSeconds: iterSec})
+		s.cmu.Lock()
+		s.planFeedback++
+		s.cmu.Unlock()
+		s.hPlanRHS.Observe(rhsPerSec)
+	}
 	if err != nil {
 		if cerr := job.ctx.Err(); cerr != nil {
 			// The trace of a cancelled job ends with a terminal marker span,

@@ -45,6 +45,47 @@ type PlanInfo struct {
 	// Interleave reports that the tiles ran on the row-interleaved panel
 	// layout.
 	Interleave bool `json:"interleave,omitempty"`
+	// Tuning is the resolved feedback policy the plan was made under
+	// ("off", "observe" or "adapt").
+	Tuning string `json:"tuning,omitempty"`
+	// Source reports how the plan was chosen: "static" for the planner's
+	// structure heuristic (cold problems, tuning off, or a measured
+	// confirmation that the static plan wins), "measured" for a candidate
+	// promoted on observed throughput, "predicted" for an unmeasured
+	// candidate promoted by the cost-model prior and exploration bonus.
+	Source string `json:"plan_source,omitempty"`
+	// Candidates is the evidence trail of a tuned decision: every plan the
+	// selector considered, with measured rhs/s where the signature has
+	// executed before and the cost-model prediction where it has not.
+	// Empty until the problem crosses the tuner's observation gate.
+	Candidates []PlanCandidate `json:"candidates,omitempty"`
+}
+
+// PlanCandidate is one plan the self-tuning planner considered, with the
+// evidence it was ranked by.
+type PlanCandidate struct {
+	// Backend, TileWidth, Workers, M, Interleave, Kernel summarize the
+	// candidate plan (TileWidth is the widest tile; tiling is balanced).
+	Backend    string `json:"backend"`
+	TileWidth  int    `json:"tile_width"`
+	Workers    int    `json:"workers"`
+	M          int    `json:"m"`
+	Interleave bool   `json:"interleave,omitempty"`
+	Kernel     string `json:"kernel,omitempty"`
+	// MeasuredRHSPerSec is the mean realized throughput of Observations
+	// executed solves with this plan (0 when unmeasured).
+	MeasuredRHSPerSec float64 `json:"measured_rhs_per_second,omitempty"`
+	Observations      int     `json:"observations,omitempty"`
+	// SecondsPerIteration is the mean execute time per block iteration —
+	// the per-iteration cost the m in m-step trades against.
+	SecondsPerIteration float64 `json:"seconds_per_iteration,omitempty"`
+	// PredictedRHSPerSec is the cost-model prior for an unmeasured
+	// candidate, anchored to the best measured plan (0 when measured).
+	PredictedRHSPerSec float64 `json:"predicted_rhs_per_second,omitempty"`
+	// Score is the exploration-adjusted value the selection ranked by.
+	Score float64 `json:"score,omitempty"`
+	// Chosen marks the candidate the decision picked.
+	Chosen bool `json:"chosen,omitempty"`
 }
 
 // JobResult reports a finished solve.

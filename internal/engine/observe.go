@@ -13,6 +13,9 @@ import (
 var (
 	durationBuckets  = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
 	iterationBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+	// throughputBuckets span realized rhs/s from multi-second scalar solves
+	// to sub-millisecond warm batched ones.
+	throughputBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 )
 
 // registerMetrics builds the engine's instrument registry. Counters and
@@ -46,6 +49,8 @@ func (s *Engine) registerMetrics() {
 		counter(&s.totalIters))
 	r.CounterFunc("repro_tiles_executed_total", "Executed plan tiles (a scalar solve counts one).",
 		counter(&s.tilesExecuted))
+	r.CounterFunc("repro_plan_feedback_total", "Executed plans whose realized throughput fed the self-tuning planner.",
+		counter(&s.planFeedback))
 
 	r.CounterFunc("repro_cache_hits_total", "Problem cache hits.",
 		func() float64 { return float64(s.cache.hits.Load()) })
@@ -81,6 +86,9 @@ func (s *Engine) registerMetrics() {
 	s.hCaseIters = r.Histogram("repro_case_iterations",
 		"CG iterations per right-hand side (each case of a batch counts once).",
 		iterationBuckets)
+	s.hPlanRHS = r.Histogram("repro_plan_rhs_per_second",
+		"Realized right-hand sides per second of execute time, per tuner-observed job.",
+		throughputBuckets)
 }
 
 // Metrics returns the engine's instrument registry (for callers composing

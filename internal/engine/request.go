@@ -129,6 +129,14 @@ type SolverSpec struct {
 	// startup, "portable" forces the reference implementations. The plan
 	// reports the set actually used.
 	Kernel string `json:"kernel,omitempty"`
+	// Tuning is the self-tuning planner's feedback policy: "adapt" (or
+	// empty, deferring to the session default) records realized throughput
+	// per executed plan and re-plans warm problems from the measurements,
+	// "observe" records and reports the evidence but always runs the
+	// static plan, "off" disables the loop (bit-for-bit static plans). Not
+	// part of the problem cache key — it is an execution policy, like the
+	// backend.
+	Tuning string `json:"tuning,omitempty"`
 }
 
 // Request is one unit of work: exactly one of Plate, System, or Prebuilt,
@@ -206,12 +214,18 @@ func (req *Request) Validate() error {
 			}
 		}
 		if pb.Config != nil {
+			if _, err := plan.ParseTuning(strings.ToLower(pb.Config.Tuning)); err != nil {
+				return err
+			}
 			return nil
 		}
 		if _, _, err := req.Solver.kinds(req.isPlate()); err != nil {
 			return err
 		}
 		if _, err := core.ParseBackend(strings.ToLower(req.Solver.Backend)); err != nil {
+			return err
+		}
+		if _, err := plan.ParseTuning(strings.ToLower(req.Solver.Tuning)); err != nil {
 			return err
 		}
 		return nil
@@ -289,6 +303,9 @@ func (req *Request) Validate() error {
 	if k := strings.ToLower(req.Solver.Kernel); !kernel.ValidName(k) {
 		return fmt.Errorf("engine: unknown kernel policy %q (want auto or portable)", req.Solver.Kernel)
 	}
+	if _, err := plan.ParseTuning(strings.ToLower(req.Solver.Tuning)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -355,6 +372,7 @@ func (s SolverSpec) CoreConfig(isPlate bool) (core.Config, error) {
 		Backend:        b,
 		Subdomains:     s.Subdomains,
 		Kernel:         strings.ToLower(s.Kernel),
+		Tuning:         strings.ToLower(s.Tuning),
 	}, nil
 }
 

@@ -84,6 +84,9 @@ type Stats struct {
 	// tile; a batched job contributes one per planned column tile) — the
 	// operational view of the batch-tiling policy.
 	TilesExecuted int64 `json:"tiles_executed"`
+	// PlanFeedback counts executed plans whose realized throughput was
+	// folded back into the self-tuning planner's observation store.
+	PlanFeedback int64 `json:"plan_feedback_total"`
 	// StreamSubscribers is the current number of per-case result streams
 	// (SSE or ?watch=1) attached to jobs.
 	StreamSubscribers int64 `json:"stream_subscribers"`

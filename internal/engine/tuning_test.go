@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// tuningReq is a keyed batch request with the tuning policy pinned: enough
+// columns to tile, keyed so every solve shares one cache entry.
+func tuningReq(key, tuning string) Request {
+	req := laplaceBatch(60, 12, key)
+	req.Solver.Tuning = tuning
+	return req
+}
+
+// TestTuningOffStaysStatic pins the escape hatch: with tuning off the plan
+// is the static planner's decision on every solve — byte-for-byte, with no
+// evidence attached and nothing fed back — no matter how warm the problem.
+func TestTuningOffStaysStatic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := tuningReq("tuning-off", "off")
+	var first *PlanInfo
+	for i := 0; i < plan.DefaultMinObservations+3; i++ {
+		v, err := s.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Result.Plan == nil {
+			t.Fatal("result missing plan")
+		}
+		if i == 0 {
+			first = v.Result.Plan
+			continue
+		}
+		if !reflect.DeepEqual(v.Result.Plan, first) {
+			t.Fatalf("solve %d: off-mode plan drifted:\n got %+v\nwant %+v", i, v.Result.Plan, first)
+		}
+	}
+	if first.Tuning != "off" || first.Source != "static" || len(first.Candidates) != 0 {
+		t.Fatalf("off-mode plan carries tuning evidence: %+v", first)
+	}
+	// The offline plan matches the executed one exactly, warm or not.
+	pi, err := s.PlanRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&pi, first) {
+		t.Fatalf("offline off-mode plan differs:\n got %+v\nwant %+v", &pi, first)
+	}
+	if st := s.Stats(); st.PlanFeedback != 0 {
+		t.Fatalf("off mode recorded %d feedback observations", st.PlanFeedback)
+	}
+}
+
+// TestTuningFeedbackRecorded: every clean cached solve folds its realized
+// throughput into the tuner — visible in the stats counter and as a
+// feedback stage on the job trace.
+func TestTuningFeedbackRecorded(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := tuningReq("tuning-fb", "observe")
+	var last JobView
+	const solves = 3
+	for i := 0; i < solves; i++ {
+		v, err := s.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = v
+	}
+	if st := s.Stats(); st.PlanFeedback != solves {
+		t.Fatalf("plan_feedback_total = %d, want %d", st.PlanFeedback, solves)
+	}
+	ti, ok := s.Trace(last.ID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	found := false
+	for _, sp := range ti.Spans {
+		if sp.Name == "feedback" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no feedback span on trace: %+v", ti.Spans)
+	}
+}
+
+// TestTuningObserveEvidenceKeepsStatic: past the gate, observe mode attaches
+// the candidate table to results and offline plans while still executing
+// the static plan.
+func TestTuningObserveEvidenceKeepsStatic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := tuningReq("tuning-observe", "observe")
+	var static *PlanInfo
+	var warm *PlanInfo
+	for i := 0; i < plan.DefaultMinObservations+2; i++ {
+		v, err := s.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			static = v.Result.Plan
+		}
+		warm = v.Result.Plan
+	}
+	if warm.Tuning != "observe" || len(warm.Candidates) == 0 {
+		t.Fatalf("warm observe-mode plan has no evidence: %+v", warm)
+	}
+	if warm.Source != "static" {
+		t.Fatalf("observe mode source = %q, want static", warm.Source)
+	}
+	// Execution stayed on the static structure decision.
+	if !reflect.DeepEqual(warm.Tiles, static.Tiles) || warm.M != static.M || warm.Workers != static.Workers {
+		t.Fatalf("observe mode changed the executed plan:\n got %+v\nwant %+v", warm, static)
+	}
+	chosen := 0
+	for _, c := range warm.Candidates {
+		if c.Chosen {
+			chosen++
+		}
+		if c.Observations > 0 && c.MeasuredRHSPerSec <= 0 {
+			t.Fatalf("measured candidate without throughput: %+v", c)
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("%d chosen candidates, want exactly 1", chosen)
+	}
+	// The offline plan carries the same evidence through POST /v1/plan.
+	pi, err := s.PlanRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi.Candidates) == 0 || pi.Tuning != "observe" {
+		t.Fatalf("offline plan missing evidence: %+v", pi)
+	}
+}
+
+// TestTuningAdaptExecutesTunedPlan: in adapt mode a warm problem's executed
+// plan is the selector's winner, its decision source explains why, and an
+// alternate step count (when chosen) still solves correctly against the
+// entry's alternate-M preconditioner pool.
+func TestTuningAdaptExecutesTunedPlan(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := tuningReq("tuning-adapt", "adapt")
+	var last JobView
+	for i := 0; i < plan.DefaultMinObservations+6; i++ {
+		v, err := s.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Result.Converged {
+			t.Fatalf("solve %d not converged under adaptation", i)
+		}
+		last = v
+	}
+	pl := last.Result.Plan
+	if pl.Tuning != "adapt" || len(pl.Candidates) == 0 {
+		t.Fatalf("warm adapt-mode plan has no evidence: %+v", pl)
+	}
+	if pl.Source != "static" && pl.Source != "measured" && pl.Source != "predicted" {
+		t.Fatalf("unknown plan source %q", pl.Source)
+	}
+	var chosen *PlanCandidate
+	for i := range pl.Candidates {
+		if pl.Candidates[i].Chosen {
+			chosen = &pl.Candidates[i]
+		}
+	}
+	if chosen == nil {
+		t.Fatalf("no chosen candidate: %+v", pl.Candidates)
+	}
+	// The executed plan is the chosen candidate.
+	if chosen.M != pl.M || chosen.Workers != pl.Workers || chosen.Interleave != pl.Interleave {
+		t.Fatalf("executed plan %+v is not the chosen candidate %+v", pl, chosen)
+	}
+	// The result's alphas must match the executed M, even when tuned away
+	// from the request's m (the alternate preconditioner pool).
+	if pl.M > 0 && last.Result.Alphas != nil && last.Result.Alphas.M() != pl.M {
+		t.Fatalf("alphas for m=%d but plan executed m=%d", last.Result.Alphas.M(), pl.M)
+	}
+}
+
+// TestTuningValidation: unknown policies are rejected at every boundary.
+func TestTuningValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := tuningReq("tuning-bad", "aggressive")
+	if _, err := s.Submit(req); err == nil {
+		t.Fatal("unknown tuning policy accepted by Submit")
+	}
+	if _, err := s.PlanRequest(req); err == nil {
+		t.Fatal("unknown tuning policy accepted by PlanRequest")
+	}
+	// Policy names are case-insensitive on the wire.
+	ok := tuningReq("tuning-case", "OBSERVE")
+	if _, err := s.Solve(context.Background(), ok); err != nil {
+		t.Fatalf("case-insensitive policy rejected: %v", err)
+	}
+}
+
+// TestTuningExcludedFromCacheKey: the policy is execution policy, not
+// problem identity — flipping it must not build a second cache entry.
+func TestTuningExcludedFromCacheKey(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	if _, err := s.Solve(context.Background(), tuningReq("tuning-key", "off")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Solve(context.Background(), tuningReq("tuning-key", "adapt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.CacheHit {
+		t.Fatal("changing tuning policy missed the cache")
+	}
+	if st := s.Stats(); st.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.CacheEntries)
+	}
+}

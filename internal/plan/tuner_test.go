@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestParseTuning(t *testing.T) {
+	for name, want := range map[string]TuningMode{
+		"": TuningAdapt, "adapt": TuningAdapt,
+		"observe": TuningObserve, "off": TuningOff,
+	} {
+		got, err := ParseTuning(name)
+		if err != nil || got != want {
+			t.Errorf("ParseTuning(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if got.String() != name && name != "" {
+			t.Errorf("String() round-trip: %q != %q", got.String(), name)
+		}
+	}
+	if _, err := ParseTuning("aggressive"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPlanSignature(t *testing.T) {
+	probe := &Probe{Rows: 1000, Cols: 1000, NNZ: 5000, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	p := pinned(1000, 8).Plan(Inputs{Probe: probe, RHS: 20, M: 3, Workers: 2})
+	sig := p.Signature()
+	// Tiling is balanced, so the signature width is the widest tile's.
+	if sig.TileWidth != len(p.Tiles[0]) || sig.M != 3 || sig.Workers != p.Workers || sig.Backend != p.Backend {
+		t.Fatalf("signature %+v does not describe plan %+v", sig, p)
+	}
+}
+
+// tunerInputs is the boundary-case table the static planner's tests pin:
+// scalar solves, exact-width batches, clamped widths, serial fallbacks.
+// The tuner must return each static plan byte-for-byte when the problem is
+// below the observation gate (and, trivially, when tuning is off — the
+// engine never calls Decide then).
+func tunerInputs() (Planner, []Inputs) {
+	big := &Probe{Rows: 1000, Cols: 1000, NNZ: 5000, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	small := &Probe{Rows: 100, Cols: 100, NNZ: 300, NumDiags: 3, MaxRowNNZ: 3, Fill: 1}
+	pl := pinned(1000, 16)
+	return pl, []Inputs{
+		{Probe: big, RHS: 1, M: 3, Workers: 2},   // scalar solve
+		{Probe: big, RHS: 16, M: 3, Workers: 2},  // exactly one tile
+		{Probe: big, RHS: 17, M: 3, Workers: 2},  // just over: 9+8 split
+		{Probe: big, RHS: 129, M: 0, Workers: 4}, // many tiles, plain CG
+		{Probe: small, RHS: 8, M: 1, Workers: 4}, // sub-parallel system
+		{Probe: big, RHS: 63, M: 4, Workers: 3, Policy: BackendCSR},
+	}
+}
+
+func TestDecideBelowGateIsStatic(t *testing.T) {
+	tu := &Tuner{}
+	pl, table := tunerInputs()
+	for i, in := range table {
+		key := fmt.Sprintf("problem-%d", i)
+		base := pl.Plan(in)
+		// Fewer observations than the gate: static plan, no evidence.
+		for j := 0; j < DefaultMinObservations-1; j++ {
+			tu.Observe(key, base.Signature(), Observation{RHSPerSec: 100})
+		}
+		for _, adapt := range []bool{false, true} {
+			got, d := tu.Decide(key, pl, in, base, nil, adapt)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("input %d adapt=%v: below-gate plan differs:\n got %+v\nwant %+v", i, adapt, got, base)
+			}
+			if len(d.Candidates) != 0 || d.Source != "" {
+				t.Errorf("input %d: below-gate decision not empty: %+v", i, d)
+			}
+		}
+	}
+}
+
+func TestDecideDecomposedUntouched(t *testing.T) {
+	tu := &Tuner{}
+	base := Plan{Backend: BackendDecomposed, Subdomains: 4, M: 3}
+	for i := 0; i < 3*DefaultMinObservations; i++ {
+		tu.Observe("k", base.Signature(), Observation{RHSPerSec: 10})
+	}
+	got, d := tu.Decide("k", Planner{}, Inputs{}, base, nil, true)
+	if !reflect.DeepEqual(got, base) || len(d.Candidates) != 0 {
+		t.Fatalf("decomposed plan was tuned: %+v / %+v", got, d)
+	}
+}
+
+func TestDecideObserveModeKeepsStatic(t *testing.T) {
+	tu := &Tuner{}
+	pl, table := tunerInputs()
+	in := table[2]
+	base := pl.Plan(in)
+	for i := 0; i < 2*DefaultMinObservations; i++ {
+		tu.Observe("k", base.Signature(), Observation{RHSPerSec: 100})
+	}
+	got, d := tu.Decide("k", pl, in, base, nil, false)
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("observe mode changed the plan:\n got %+v\nwant %+v", got, base)
+	}
+	if len(d.Candidates) == 0 || !d.Candidates[0].Chosen || d.Source != "static" {
+		t.Fatalf("observe mode evidence wrong: %+v", d)
+	}
+}
+
+// syntheticSpeed is the fake machine the convergence test runs on: m = 3 is
+// the best reachable step count (the paper's machine-dependent optimum),
+// every non-M variation is mediocre. No clocks — throughput is a pure
+// function of the executed signature, so the whole loop is deterministic.
+func syntheticSpeed(base Signature, sig Signature) float64 {
+	other := sig
+	other.M = base.M
+	if other != base { // tile/worker/interleave variation
+		return 60
+	}
+	switch sig.M {
+	case 1:
+		return 100
+	case 2:
+		return 140
+	case 3:
+		return 180
+	case 4:
+		return 120
+	}
+	return 50
+}
+
+// runTuningLoop simulates n solve rounds: each round executes whatever plan
+// Decide picks and feeds the synthetic throughput back in. It returns the
+// sequence of executed step counts.
+func runTuningLoop(tu *Tuner, pl Planner, in Inputs, base Plan, n int) []int {
+	ms := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		p, _ := tu.Decide("k", pl, in, base, nil, true)
+		sig := p.Signature()
+		tu.Observe("k", sig, Observation{RHSPerSec: syntheticSpeed(base.Signature(), sig), IterSeconds: 0.01})
+		ms = append(ms, sig.M)
+	}
+	return ms
+}
+
+// TestTunerConvergesToBestCandidate drives the closed loop on a synthetic
+// machine where the static m = 1 is suboptimal: the tuner must climb the
+// neighborhood (m 1 → 2 → 3), settle on the best of the seeded candidates,
+// and report the winner as a measured decision.
+func TestTunerConvergesToBestCandidate(t *testing.T) {
+	probe := &Probe{Rows: 1000, Cols: 1000, NNZ: 5000, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	pl := pinned(1000, 8)
+	in := Inputs{Probe: probe, RHS: 16, M: 1, Workers: 2}
+	base := pl.Plan(in)
+	tu := &Tuner{}
+
+	runTuningLoop(tu, pl, in, base, 80)
+
+	final, d := tu.Decide("k", pl, in, base, nil, true)
+	if got := final.Signature().M; got != 3 {
+		t.Fatalf("converged to m = %d, want 3 (decision %+v)", got, d)
+	}
+	if d.Source != "measured" {
+		t.Fatalf("converged decision source = %q, want measured", d.Source)
+	}
+	var chosen *Candidate
+	for i := range d.Candidates {
+		if d.Candidates[i].Chosen {
+			chosen = &d.Candidates[i]
+		}
+	}
+	if chosen == nil || chosen.Measured < 170 || chosen.Observations == 0 {
+		t.Fatalf("winner's evidence missing: %+v", chosen)
+	}
+	// The winner's plan must stay structurally consistent with the inputs.
+	checkTiles(t, final.Tiles, 16, 8)
+}
+
+// TestTunerDeterministic pins the clock- and randomness-free contract: two
+// tuners fed the identical sequence make the identical decisions.
+func TestTunerDeterministic(t *testing.T) {
+	probe := &Probe{Rows: 1000, Cols: 1000, NNZ: 5000, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	pl := pinned(1000, 8)
+	in := Inputs{Probe: probe, RHS: 16, M: 1, Workers: 2}
+	base := pl.Plan(in)
+	a := runTuningLoop(&Tuner{}, pl, in, base, 40)
+	b := runTuningLoop(&Tuner{}, pl, in, base, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical loops diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestTunerPriorSteersUnmeasured checks the cost-model hook: with a prior
+// that predicts m+1 always faster, the first adaptive decision past the
+// gate must promote an unmeasured higher-m candidate as "predicted".
+func TestTunerPriorSteersUnmeasured(t *testing.T) {
+	probe := &Probe{Rows: 1000, Cols: 1000, NNZ: 5000, NumDiags: 5, MaxRowNNZ: 5, Fill: 1}
+	pl := pinned(1000, 8)
+	in := Inputs{Probe: probe, RHS: 16, M: 1, Workers: 2}
+	base := pl.Plan(in)
+	tu := &Tuner{Explore: -1} // pure greedy: the prior alone must promote
+	for i := 0; i < DefaultMinObservations; i++ {
+		tu.Observe("k", base.Signature(), Observation{RHSPerSec: 100})
+	}
+	prior := func(ref, cand Signature) float64 {
+		if cand.M > ref.M {
+			return 2
+		}
+		return 0.5
+	}
+	got, d := tu.Decide("k", pl, in, base, prior, true)
+	if got.Signature().M != base.M+1 {
+		t.Fatalf("prior ignored: chose m = %d (decision %+v)", got.Signature().M, d)
+	}
+	if d.Source != "predicted" {
+		t.Fatalf("decision source = %q, want predicted", d.Source)
+	}
+}
+
+func TestObserveBounds(t *testing.T) {
+	tu := &Tuner{MaxProblems: 2, MaxSignatures: 2}
+	sig := Signature{Backend: BackendCSR, TileWidth: 8, Workers: 1, M: 1}
+	// Rejected observations never create state.
+	tu.Observe("", sig, Observation{RHSPerSec: 1})
+	tu.Observe("k", sig, Observation{RHSPerSec: -1})
+	if n := tu.Observations("k"); n != 0 {
+		t.Fatalf("invalid observations stored: %d", n)
+	}
+	// Per-problem signature cap: the third distinct signature is dropped.
+	for m := 1; m <= 3; m++ {
+		s := sig
+		s.M = m
+		tu.Observe("k", s, Observation{RHSPerSec: float64(m)})
+	}
+	if n := tu.Observations("k"); n != 2 {
+		t.Fatalf("signature cap leaked: %d observations", n)
+	}
+	// Problem cap: the coldest problem is evicted, the hot ones survive.
+	tu.Observe("k2", sig, Observation{RHSPerSec: 1})
+	tu.Observe("k3", sig, Observation{RHSPerSec: 1})
+	if tu.Observations("k") != 0 {
+		t.Fatal("LRU eviction kept the coldest problem")
+	}
+	if tu.Observations("k3") == 0 {
+		t.Fatal("newest problem evicted")
+	}
+}

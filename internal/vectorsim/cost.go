@@ -1,10 +1,18 @@
 package vectorsim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sparse"
 )
+
+// ErrDegenerate reports a system the cost analysis cannot describe: no
+// matrix, no rows, or no stored entries. Callers that use Analyze as a
+// planning prior (the engine's self-tuning planner calls it on every cold
+// plan) test for it with errors.Is and fall back to measurement-only
+// selection instead of trusting a zero CostBreakdown.
+var ErrDegenerate = errors.New("vectorsim: degenerate system")
 
 // CostBreakdown decomposes one solve into the paper's eq. (4.1) quantities:
 // T_m = Setup + N_m · (A + m·B).
@@ -106,6 +114,14 @@ func analyzeStorage(k *sparse.CSR, start []int) (*storageByDiagonals, error) {
 func Analyze(model Model, k *sparse.CSR, start []int, padLen int) (CostBreakdown, error) {
 	if err := model.Validate(); err != nil {
 		return CostBreakdown{}, err
+	}
+	switch {
+	case k == nil:
+		return CostBreakdown{}, fmt.Errorf("%w: nil matrix", ErrDegenerate)
+	case k.Rows == 0 || k.Cols == 0:
+		return CostBreakdown{}, fmt.Errorf("%w: empty %d×%d matrix", ErrDegenerate, k.Rows, k.Cols)
+	case k.NNZ() == 0:
+		return CostBreakdown{}, fmt.Errorf("%w: matrix has no stored entries", ErrDegenerate)
 	}
 	st, err := analyzeStorage(k, start)
 	if err != nil {

@@ -1,0 +1,49 @@
+package vectorsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// Analyze backs the engine's self-tuning prior, which probes it on every
+// warm problem: degenerate systems must answer with a typed error the
+// caller can test for, never a zero CostBreakdown mistaken for "free".
+func TestAnalyzeDegenerateSystems(t *testing.T) {
+	cases := []struct {
+		name  string
+		k     *sparse.CSR
+		start []int
+	}{
+		{"nil matrix", nil, []int{0}},
+		{"empty matrix", sparse.NewCOO(0, 0).ToCSR(), []int{0, 0}},
+		{"no stored entries", sparse.NewCOO(4, 4).ToCSR(), []int{0, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Analyze(Cyber203(), tc.k, tc.start, 0)
+			if err == nil {
+				t.Fatal("degenerate system accepted")
+			}
+			if !errors.Is(err, ErrDegenerate) {
+				t.Fatalf("error %v is not ErrDegenerate", err)
+			}
+		})
+	}
+}
+
+// A malformed group cover is a caller bug, not a degenerate system: it must
+// stay a distinct error so ErrDegenerate keeps meaning "nothing to model".
+func TestAnalyzeBadGroupsNotDegenerate(t *testing.T) {
+	c := sparse.NewCOO(2, 2)
+	c.Add(0, 0, 2)
+	c.Add(1, 1, 2)
+	_, err := Analyze(Cyber203(), c.ToCSR(), []int{0, 1}, 0)
+	if err == nil {
+		t.Fatal("bad group cover accepted")
+	}
+	if errors.Is(err, ErrDegenerate) {
+		t.Fatalf("group-cover error %v wrongly wrapped as ErrDegenerate", err)
+	}
+}
