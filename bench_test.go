@@ -831,3 +831,60 @@ func BenchmarkDecomposedSolve(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetThroughput measures the consistent-hash fleet router
+// serving a warm working set through 1 node vs 3: requests for six
+// distinct problems fan out by cache key, so each node holds only its
+// share of the set and every repeat lands warm. The assertion after the
+// timed loop proves the affinity claim — fleet-wide misses stay at the
+// number of distinct problems no matter how many solves ran.
+func BenchmarkFleetThroughput(b *testing.B) {
+	var reqs []repro.Request
+	for sz := 16; sz < 22; sz++ {
+		reqs = append(reqs, repro.Request{
+			Plate:        &repro.PlateSpec{Rows: sz, Cols: sz},
+			Solver:       repro.SolverSpec{M: 3, Coeffs: "least-squares", Tol: 1e-6},
+			OmitSolution: true,
+		})
+	}
+	for _, n := range []int{1, 3} {
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			_, _, cl := startFleetSolver(b, n)
+			defer cl.Close()
+			ctx := context.Background()
+			// Cold pass: populate each owner's cache outside the timed loop.
+			for _, req := range reqs {
+				if _, err := cl.Solve(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const clients = 4
+			start := time.Now()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for g := 0; g < clients; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if _, err := cl.Solve(ctx, reqs[(g+i)%len(reqs)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			b.StopTimer()
+			st, err := cl.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.CacheMisses != int64(len(reqs)) {
+				b.Fatalf("fleet saw %d cold misses for %d problems: affinity broken", st.CacheMisses, len(reqs))
+			}
+			total := float64(clients) * float64(b.N)
+			b.ReportMetric(total/time.Since(start).Seconds(), "solves/s")
+		})
+	}
+}

@@ -18,6 +18,18 @@
 // Prebuilt *Problem requests are serialized back to the declarative spec
 // that reconstructs them (see repro.Request.Wire); the setup amortization
 // then happens server-side in the daemon's cache.
+//
+// # Resilience
+//
+// Solves are pure computations, so the client treats every call as
+// idempotent: transport errors and gateway-class statuses (502/503/504)
+// are retried with exponential backoff and jitter (WithRetry), and
+// non-streaming calls carry a default per-attempt deadline (WithTimeout).
+// SolveStream survives a severed connection: it reattaches to the same
+// job with the standard Last-Event-ID header so the server skips what was
+// already delivered, and if the job itself is gone (a fleet node died
+// mid-batch), it resubmits the request and dedupes replayed cases by case
+// index — the caller still sees every case exactly once and one Done.
 package client
 
 import (
@@ -28,19 +40,35 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro"
 )
 
+// DefaultTimeout bounds each attempt of a non-streaming call when the
+// client was constructed without WithTimeout. Streaming attachments are
+// exempt: a batch legitimately converges for longer than any fixed bound.
+const DefaultTimeout = 2 * time.Minute
+
+const (
+	defaultAttempts  = 3
+	defaultRetryBase = 100 * time.Millisecond
+	maxRetryBackoff  = 2 * time.Second
+)
+
 // Client drives a remote solver service over its /v1 HTTP API. It
 // implements repro.Solver. A zero Client is not usable; construct with
 // New. Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	timeout   time.Duration // per-attempt bound on non-streaming calls; <=0 means none
+	attempts  int           // total tries per idempotent call (1 = no retry)
+	retryBase time.Duration // first backoff; doubles per retry, jittered
 }
 
 var _ repro.Solver = (*Client)(nil)
@@ -50,18 +78,47 @@ type Option func(*Client)
 
 // WithHTTPClient substitutes the transport (pooling, TLS, tracing). The
 // client must not enforce an overall request timeout — streams and long
-// solves are expected to outlive any fixed deadline; bound individual
-// calls with contexts instead.
+// solves are expected to outlive any fixed deadline; the SDK bounds
+// non-streaming calls itself (WithTimeout).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds each attempt of a non-streaming call (solve, plan,
+// stats, trace, cancel) at d; d <= 0 removes the bound. The default is
+// DefaultTimeout. Streaming attachments are never subject to it — cancel
+// SolveStream through its context instead.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry sets the retry budget: attempts is the total number of tries
+// per call (minimum 1, i.e. no retries) and base the first backoff delay,
+// doubled per retry with jitter and capped at 2s. Only connection errors,
+// per-attempt timeouts, and gateway-class statuses (502/503/504) are
+// retried; API rejections (4xx) never are. The default is 3 attempts from
+// a 100ms base.
+func WithRetry(attempts int, base time.Duration) Option {
+	return func(c *Client) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		c.attempts = attempts
+		if base > 0 {
+			c.retryBase = base
+		}
+	}
 }
 
 // New returns a client for the solver daemon at baseURL (e.g.
 // "http://localhost:8080"). The URL is not dialed until the first call.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   &http.Client{},
+		base:      strings.TrimRight(baseURL, "/"),
+		hc:        &http.Client{},
+		timeout:   DefaultTimeout,
+		attempts:  defaultAttempts,
+		retryBase: defaultRetryBase,
 	}
 	for _, o := range opts {
 		o(c)
@@ -89,30 +146,111 @@ func StatusCode(err error) int {
 	return 0
 }
 
+// retryableStatus reports whether an HTTP status signals a transient
+// condition worth retrying: the gateway-class trio a fleet router or an
+// overloaded/draining node returns. Everything else in 4xx/5xx is a
+// deterministic verdict on the request.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff returns the delay before retry number retry (0-based): an
+// exponentially growing base with uniform jitter in [d/2, d), capped so a
+// long outage doesn't stretch waits unboundedly.
+func (c *Client) backoff(retry int) time.Duration {
+	d := c.retryBase << retry
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// sleepRetry waits out the backoff before the retry'th retry, or returns
+// early with ctx's error.
+func (c *Client) sleepRetry(ctx context.Context, retry int) error {
+	t := time.NewTimer(c.backoff(retry))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attemptCtx derives the per-attempt context for a non-streaming call.
+func (c *Client) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// doJSON performs one idempotent API call — bounded per attempt by the
+// client timeout, retried with backoff on connection errors and
+// gateway-class statuses — and decodes a 2xx JSON response into out.
+// Non-2xx responses come back as *apiError.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		payload = b
+	}
+	var lastErr error
+	for try := 0; try < c.attempts; try++ {
+		if try > 0 {
+			if err := c.sleepRetry(ctx, try-1); err != nil {
+				return err
+			}
+		}
+		err := func() error {
+			actx, cancel := c.attemptCtx(ctx)
+			defer cancel()
+			var rd io.Reader
+			if payload != nil {
+				rd = bytes.NewReader(payload)
+			}
+			req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+			if err != nil {
+				return err
+			}
+			if payload != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := c.hc.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			return decodeResponse(resp, out)
+		}()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's context ended; the per-attempt timeout is the
+			// only deadline worth retrying past.
+			return err
+		}
+		if sc := StatusCode(err); sc != 0 && !retryableStatus(sc) {
+			return err
+		}
+	}
+	return lastErr
+}
+
 // asyncRequest is the POST /v1/solve body for asynchronous submission.
 type asyncRequest struct {
 	repro.Request
 	Async bool `json:"async"`
-}
-
-// postJSON POSTs body and decodes a 2xx JSON response into out; non-2xx
-// responses come back as *apiError.
-func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("client: marshal request: %w", err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
 }
 
 func decodeResponse(resp *http.Response, out any) error {
@@ -143,14 +281,17 @@ func responseError(resp *http.Response) error {
 // Solve implements repro.Solver: it runs req synchronously on the daemon.
 // Canceling ctx severs the request, which makes the daemon cancel the
 // job (the synchronous submitter is its only holder). A job-level failure
-// is returned as a non-nil error alongside any partial result.
+// is returned as a non-nil error alongside any partial result. Solves
+// longer than the client timeout need WithTimeout raised (or disabled) —
+// each attempt is bounded, and a timed-out sync solve is retried like any
+// other severed connection because solving is idempotent.
 func (c *Client) Solve(ctx context.Context, req repro.Request) (repro.JobResult, error) {
 	wire, err := req.Wire()
 	if err != nil {
 		return repro.JobResult{}, err
 	}
 	var v repro.JobView
-	if err := c.postJSON(ctx, "/v1/solve", wire, &v); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/solve", wire, &v); err != nil {
 		return repro.JobResult{}, err
 	}
 	var res repro.JobResult
@@ -171,7 +312,7 @@ func (c *Client) Plan(ctx context.Context, req repro.Request) (repro.PlanInfo, e
 		return repro.PlanInfo{}, err
 	}
 	var info repro.PlanInfo
-	if err := c.postJSON(ctx, "/v1/plan", wire, &info); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/plan", wire, &info); err != nil {
 		return repro.PlanInfo{}, err
 	}
 	return info, nil
@@ -179,33 +320,40 @@ func (c *Client) Plan(ctx context.Context, req repro.Request) (repro.PlanInfo, e
 
 // Stats implements repro.Solver via GET /v1/stats.
 func (c *Client) Stats() (repro.ServiceStats, error) {
-	resp, err := c.hc.Get(c.base + "/v1/stats")
-	if err != nil {
-		return repro.ServiceStats{}, err
-	}
-	defer resp.Body.Close()
 	var st repro.ServiceStats
-	if err := decodeResponse(resp, &st); err != nil {
+	if err := c.doJSON(context.Background(), http.MethodGet, "/v1/stats", nil, &st); err != nil {
 		return repro.ServiceStats{}, err
 	}
 	return st, nil
+}
+
+// Health fetches GET /v1/healthz: the node's readiness verdict. It does
+// not retry — a health probe wants the current answer, not an eventual
+// one — but a draining node's 503 still decodes into h with ok=false.
+func (c *Client) Health(ctx context.Context) (h repro.Health, ok bool, err error) {
+	actx, cancel := c.attemptCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return h, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, false, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, false, fmt.Errorf("client: decode health: %w", err)
+	}
+	return h, resp.StatusCode == http.StatusOK, nil
 }
 
 // Trace implements repro.Solver via GET /v1/jobs/{id}/trace: the job's
 // stage timeline and sampled convergence curve, during and after the
 // solve (for as long as the daemon retains the job in history).
 func (c *Client) Trace(ctx context.Context, jobID string) (repro.TraceInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID+"/trace", nil)
-	if err != nil {
-		return repro.TraceInfo{}, err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return repro.TraceInfo{}, err
-	}
-	defer resp.Body.Close()
 	var ti repro.TraceInfo
-	if err := decodeResponse(resp, &ti); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/trace", nil, &ti); err != nil {
 		return repro.TraceInfo{}, err
 	}
 	return ti, nil
@@ -214,16 +362,7 @@ func (c *Client) Trace(ctx context.Context, jobID string) (repro.TraceInfo, erro
 // Cancel aborts a job by ID (DELETE /v1/jobs/{id}); callers normally
 // cancel through SolveStream's context instead.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, nil)
+	return c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
 }
 
 // Close implements repro.Solver. The daemon owns the session state; Close
@@ -238,55 +377,126 @@ func (c *Client) Close() error {
 // completion as it converges, then once more with the terminal Done event.
 // Canceling ctx cancels the remote job (DELETE /v1/jobs/{id}) and returns
 // ctx.Err().
+//
+// The stream is resilient within the client's retry budget: a severed
+// connection reattaches to the same job carrying Last-Event-ID (the
+// server replays only what this client missed), and a lost job — a fleet
+// node died taking its in-memory state with it — is resubmitted from
+// scratch, with already-delivered cases deduped by case index so on still
+// observes each case exactly once.
 func (c *Client) SolveStream(ctx context.Context, req repro.Request, on func(repro.CaseEvent)) error {
 	wire, err := req.Wire()
 	if err != nil {
 		return err
 	}
-	var accepted repro.JobView
-	if err := c.postJSON(ctx, "/v1/solve", asyncRequest{Request: wire, Async: true}, &accepted); err != nil {
-		return err
-	}
-	if accepted.ID == "" {
-		return errors.New("client: async submission returned no job id")
+
+	// seen dedupes case delivery across resubmissions: a re-run job solves
+	// (and streams) every case again, but the caller already has some.
+	// lastSeq tracks the server's per-job event sequence for reattaches;
+	// it resets with each new job, whose numbering restarts at 1.
+	seen := make(map[int]bool)
+	lastSeq := 0
+	forward := func(ev repro.CaseEvent) {
+		if ev.Seq > lastSeq {
+			lastSeq = ev.Seq
+		}
+		if ev.Done == nil && ev.Case >= 0 {
+			if seen[ev.Case] {
+				return
+			}
+			seen[ev.Case] = true
+		}
+		on(ev)
 	}
 
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+accepted.ID, nil)
+	submit := func() (string, error) {
+		var accepted repro.JobView
+		if err := c.doJSON(ctx, http.MethodPost, "/v1/solve", asyncRequest{Request: wire, Async: true}, &accepted); err != nil {
+			return "", err
+		}
+		if accepted.ID == "" {
+			return "", errors.New("client: async submission returned no job id")
+		}
+		return accepted.ID, nil
+	}
+
+	jobID, err := submit()
 	if err != nil {
-		c.cancelDetached(accepted.ID)
 		return err
 	}
-	hreq.Header.Set("Accept", "text/event-stream")
-	resp, err := c.hc.Do(hreq)
-	if err != nil {
-		c.cancelDetached(accepted.ID)
+
+	resubmits := c.attempts // budget for re-running the job elsewhere
+	failures := 0           // consecutive failed attaches on the current job
+	for {
+		done, err := c.attachStream(ctx, jobID, lastSeq, forward)
+		if err == nil {
+			if done.State == repro.JobFailed {
+				return errors.New(done.Error)
+			}
+			return nil
+		}
 		if ctx.Err() != nil {
+			// Caller cancellation: the abandoned remote job has no other
+			// holder, so cancel it before reporting.
+			c.cancelDetached(jobID)
 			return ctx.Err()
 		}
-		return err
+		if sc := StatusCode(err); sc == http.StatusNotFound {
+			// The job is gone — the node holding it died, or history
+			// evicted it. The solve is pure: run it again as a fresh job
+			// and let forward dedupe whatever the caller already saw.
+			resubmits--
+			if resubmits < 0 {
+				return err
+			}
+			lastSeq = 0
+			failures = 0
+			jobID, err = submit()
+			if err != nil {
+				return err
+			}
+			continue
+		} else if sc != 0 && !retryableStatus(sc) {
+			// A deterministic API rejection; retrying cannot change it.
+			c.cancelDetached(jobID)
+			return err
+		}
+		// Transient: severed connection, gateway error, or mid-stream EOF.
+		// Back off and reattach to the same job with Last-Event-ID.
+		failures++
+		if failures >= c.attempts {
+			return err
+		}
+		if err := c.sleepRetry(ctx, failures-1); err != nil {
+			c.cancelDetached(jobID)
+			return err
+		}
+	}
+}
+
+// attachStream opens one SSE attachment to jobID and pumps its events
+// through on until the done frame (whose JobView it returns) or a
+// transport failure. lastSeq > 0 is presented as Last-Event-ID so the
+// server skips events already delivered on a previous attachment. The
+// attachment itself is never subject to the client timeout.
+func (c *Client) attachStream(ctx context.Context, jobID string, lastSeq int, on func(repro.CaseEvent)) (repro.JobView, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return repro.JobView{}, err
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	if lastSeq > 0 {
+		hreq.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return repro.JobView{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		err := responseError(resp)
-		c.cancelDetached(accepted.ID)
-		return err
+		return repro.JobView{}, responseError(resp)
 	}
-
-	done, err := readStream(resp.Body, on)
-	if err != nil {
-		// A severed stream: distinguish caller cancellation (cancel the
-		// abandoned remote job) from a transport failure (the job may have
-		// other watchers; leave it to finish).
-		if ctx.Err() != nil {
-			c.cancelDetached(accepted.ID)
-			return ctx.Err()
-		}
-		return err
-	}
-	if done.State == repro.JobFailed {
-		return errors.New(done.Error)
-	}
-	return nil
+	return readStream(resp.Body, on)
 }
 
 // cancelDetached cancels a job the caller has abandoned, on a fresh

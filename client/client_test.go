@@ -1,0 +1,256 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+)
+
+func simpleReq() repro.Request {
+	return repro.Request{
+		Plate:  &repro.PlateSpec{Rows: 8, Cols: 8},
+		Solver: repro.SolverSpec{M: 2, Tol: 1e-7},
+	}
+}
+
+func writeView(w http.ResponseWriter, status int, v repro.JobView) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// TestRetryTransient: gateway-class failures are retried with backoff and
+// the call ultimately succeeds without the caller noticing.
+func TestRetryTransient(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"engine: job queue full"}`)
+			return
+		}
+		writeView(w, http.StatusOK, repro.JobView{
+			ID: "j-000001", State: repro.JobDone,
+			Result: &repro.JobResult{Iterations: 7},
+		})
+	}))
+	defer srv.Close()
+
+	cl := client.New(srv.URL, client.WithRetry(3, time.Millisecond))
+	res, err := cl.Solve(context.Background(), simpleReq())
+	if err != nil {
+		t.Fatalf("solve after transient failures: %v", err)
+	}
+	if res.Iterations != 7 {
+		t.Fatalf("result %+v did not come from the final attempt", res)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestNoRetryOnRejection: a 400 is a deterministic verdict — exactly one
+// attempt, error text preserved.
+func TestNoRetryOnRejection(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"engine: plate needs rows, cols >= 2, got 1×5"}`)
+	}))
+	defer srv.Close()
+
+	cl := client.New(srv.URL, client.WithRetry(5, time.Millisecond))
+	_, err := cl.Solve(context.Background(), simpleReq())
+	if client.StatusCode(err) != http.StatusBadRequest {
+		t.Fatalf("err %v (status %d), want 400", err, client.StatusCode(err))
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (4xx must not retry)", got)
+	}
+}
+
+// TestPerAttemptTimeout: WithTimeout bounds each attempt; a hung server
+// costs attempts × timeout, not forever.
+func TestPerAttemptTimeout(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release) // unblock handlers before srv.Close waits on them
+
+	cl := client.New(srv.URL, client.WithTimeout(30*time.Millisecond), client.WithRetry(2, time.Millisecond))
+	start := time.Now()
+	_, err := cl.Solve(context.Background(), simpleReq())
+	if err == nil {
+		t.Fatal("hung server produced no error")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("timed-out call took %v", el)
+	}
+}
+
+// sseJob is a scripted job endpoint: each GET attach runs the next script
+// entry, which writes SSE frames and returns (an abrupt end unless it
+// wrote a done frame).
+type sseJob struct {
+	submits  atomic.Int32
+	attaches atomic.Int32
+	ids      []string                                        // job ID per submit
+	script   func(attach int, r *http.Request, w *sseWriter) // per-attach behavior
+}
+
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (s *sseWriter) caseEvent(seq, idx int) {
+	data, _ := json.Marshal(repro.CaseEvent{Seq: seq, Case: idx, Result: &repro.CaseResult{Iterations: seq}})
+	fmt.Fprintf(s.w, "id: %d\nevent: case\ndata: %s\n\n", seq, data)
+	s.f.Flush()
+}
+
+func (s *sseWriter) done(id string, lastSeq int) {
+	data, _ := json.Marshal(repro.JobView{ID: id, State: repro.JobDone, Result: &repro.JobResult{JobID: id}})
+	fmt.Fprintf(s.w, "id: %d\nevent: done\ndata: %s\n\n", lastSeq+1, data)
+	s.f.Flush()
+}
+
+func (j *sseJob) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		n := int(j.submits.Add(1))
+		if n > len(j.ids) {
+			n = len(j.ids)
+		}
+		writeView(w, http.StatusAccepted, repro.JobView{ID: j.ids[n-1], State: repro.JobQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		attach := int(j.attaches.Add(1))
+		w.Header().Set("Content-Type", "text/event-stream")
+		j.script(attach, r, &sseWriter{w: w, f: w.(http.Flusher)})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeView(w, http.StatusOK, repro.JobView{ID: r.PathValue("id")})
+	})
+	return mux
+}
+
+// collect runs SolveStream and partitions the delivery.
+func collect(t *testing.T, cl *client.Client) (cases []repro.CaseEvent, dones int, err error) {
+	t.Helper()
+	err = cl.SolveStream(context.Background(), simpleReq(), func(ev repro.CaseEvent) {
+		if ev.Done != nil {
+			dones++
+			return
+		}
+		cases = append(cases, ev)
+	})
+	return cases, dones, err
+}
+
+// TestStreamResumeLastEventID: a severed stream reattaches carrying the
+// last seen event ID, and the server-side skip means no duplicates reach
+// the caller.
+func TestStreamResumeLastEventID(t *testing.T) {
+	var resumeHeader atomic.Value
+	job := &sseJob{ids: []string{"j-000001"}}
+	job.script = func(attach int, r *http.Request, w *sseWriter) {
+		switch attach {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				panic("first attach must not carry Last-Event-ID")
+			}
+			w.caseEvent(1, 1)
+			// return without done: the client sees a severed stream
+		default:
+			resumeHeader.Store(r.Header.Get("Last-Event-ID"))
+			w.caseEvent(2, 0)
+			w.done("j-000001", 2)
+		}
+	}
+	srv := httptest.NewServer(job.handler())
+	defer srv.Close()
+
+	cl := client.New(srv.URL, client.WithRetry(3, time.Millisecond))
+	cases, dones, err := collect(t, cl)
+	if err != nil {
+		t.Fatalf("resumed stream failed: %v", err)
+	}
+	if got := resumeHeader.Load(); got != "1" {
+		t.Fatalf("reattach sent Last-Event-ID %v, want \"1\"", got)
+	}
+	if len(cases) != 2 || dones != 1 {
+		t.Fatalf("delivered %d cases, %d dones; want 2 and 1", len(cases), dones)
+	}
+	if job.submits.Load() != 1 {
+		t.Fatalf("%d submissions; resume must reattach, not resubmit", job.submits.Load())
+	}
+	if job.attaches.Load() != 2 {
+		t.Fatalf("%d attaches, want 2", job.attaches.Load())
+	}
+}
+
+// TestStreamResubmitOnLostJob: when the job vanishes (the node holding it
+// died), the client resubmits and dedupes the new job's replay by case
+// index — the caller still sees each case exactly once.
+func TestStreamResubmitOnLostJob(t *testing.T) {
+	var secondJobResume atomic.Value
+	job := &sseJob{ids: []string{"n1-j-000001", "n2-j-000001"}}
+	job.script = func(attach int, r *http.Request, w *sseWriter) {
+		switch attach {
+		case 1: // first job: one case, then severed
+			w.caseEvent(1, 1)
+		case 2: // reattach: the node died; job unknown
+			w.w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w.w, `{"error":"unknown job n1-j-000001"}`)
+		default: // fresh job on the survivor: replays everything
+			secondJobResume.Store(r.Header.Get("Last-Event-ID"))
+			w.caseEvent(1, 1) // the case the caller already has
+			w.caseEvent(2, 0)
+			w.done("n2-j-000001", 2)
+		}
+	}
+	srv := httptest.NewServer(job.handler())
+	defer srv.Close()
+
+	cl := client.New(srv.URL, client.WithRetry(3, time.Millisecond))
+	cases, dones, err := collect(t, cl)
+	if err != nil {
+		t.Fatalf("stream failed despite resubmit path: %v", err)
+	}
+	if job.submits.Load() != 2 {
+		t.Fatalf("%d submissions, want 2 (lost job must resubmit)", job.submits.Load())
+	}
+	if got := secondJobResume.Load(); got != "" {
+		t.Fatalf("fresh job attach carried Last-Event-ID %q; sequence numbers do not span jobs", got)
+	}
+	if dones != 1 {
+		t.Fatalf("%d done events, want exactly 1", dones)
+	}
+	if len(cases) != 2 {
+		t.Fatalf("delivered %d cases, want 2 (replayed case must dedupe)", len(cases))
+	}
+	seen := map[int]int{}
+	for _, ev := range cases {
+		seen[ev.Case]++
+	}
+	if seen[0] != 1 || seen[1] != 1 {
+		t.Fatalf("per-case delivery %v, want exactly once each", seen)
+	}
+}

@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	solverd -addr :8080 [-workers 4] [-worker-budget 0] [-queue 256]
-//	        [-cache 64] [-tile-budget 8388608] [-tuning adapt] [-drain 30s]
-//	        [-log-format text] [-debug-addr :6060]
+//	solverd -addr :8080 [-node-id n1] [-workers 4] [-worker-budget 0]
+//	        [-queue 256] [-cache 64] [-tile-budget 8388608] [-tuning adapt]
+//	        [-drain 30s] [-log-format text] [-debug-addr :6060]
 //
 // API:
 //
@@ -32,6 +32,9 @@
 //	                     sampled convergence curve; replayable after the
 //	                     job finishes
 //	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/healthz   readiness: 200 with queue depth and uptime while
+//	                     serving, 503 once draining — what a load balancer
+//	                     or the solverfleet router health-checks
 //	GET    /v1/stats     queue depth, cache hit rate, p50/p99 latency
 //	                     (overall and split by matvec backend), per-backend
 //	                     solve counts, tiles executed, live stream
@@ -79,6 +82,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		nodeID     = flag.String("node-id", "", "fleet node identity: prefixes job IDs so a fleet router can route job lookups back here (must match the router's member name; empty = standalone)")
 		debugAddr  = flag.String("debug-addr", "", "debug listen address serving /debug/pprof and /debug/vars (empty = disabled)")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		workers    = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
@@ -110,6 +114,7 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
+		NodeID:          *nodeID,
 		Workers:         *workers,
 		WorkerBudget:    *budget,
 		TileBudgetBytes: *tileBudget,

@@ -1,0 +1,133 @@
+// Command solverfleet fronts a cluster of solverd nodes with
+// cache-affinity routing: a consistent-hash ring keyed by the engine's
+// problem cache key sends repeated solves of one problem to the node whose
+// cache already holds it warm, so N nodes behave as N disjoint warm caches
+// rather than N cold ones.
+//
+// Usage:
+//
+//	solverfleet -addr :8090 \
+//	    -nodes n1=http://host1:8080,n2=http://host2:8080,n3=http://host3:8080 \
+//	    [-vnodes 128] [-check 2s] [-probe-timeout 2s] [-log-format text]
+//
+// Each -nodes entry is name=url; the name must match that node's
+// solverd -node-id (job IDs are prefixed with it, which is how the router
+// sends job lookups back to the issuing node).
+//
+// The router serves the same /v1 API as a single solverd — the Go SDK
+// works against it unchanged — plus fleet-wide aggregation:
+//
+//	POST   /v1/solve, /v1/plan      routed by problem cache key
+//	GET    /v1/jobs/{id}[...]       routed by job-id prefix (SSE passes through)
+//	GET    /v1/stats                summed across the fleet, per-node detail
+//	GET    /v1/healthz              200 while any node is healthy
+//	GET    /metrics                 merged exposition with node="..." labels
+//
+// Members are health-checked through /v1/healthz every -check; a node that
+// fails a probe (or a proxy attempt) leaves the ring immediately, moving
+// only its own keys — consistent hashing keeps every other node's warm
+// cache intact. The SDK's retry + stream-resume layer rides on top: a node
+// dying mid-batch surfaces as a resubmitted job on a survivor, not a
+// failed batch.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8090", "listen address")
+		nodes     = flag.String("nodes", "", "fleet roster: comma-separated name=url pairs (required)")
+		vnodes    = flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = default)")
+		check     = flag.Duration("check", 2*time.Second, "health-check interval (negative disables the background checker)")
+		probeTO   = flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout for health checks and stats fan-out")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		slog.Error("unknown -log-format (want text or json)", "got", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	members, err := parseNodes(*nodes)
+	if err != nil {
+		logger.Error("invalid -nodes", "err", err)
+		os.Exit(2)
+	}
+
+	router, err := fleet.New(fleet.Config{
+		Members:       members,
+		VNodes:        *vnodes,
+		CheckInterval: *check,
+		ProbeTimeout:  *probeTO,
+		Logger:        logger,
+	})
+	if err != nil {
+		logger.Error("fleet init failed", "err", err)
+		os.Exit(2)
+	}
+	defer router.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		logger.Info("fleet router listening", "addr", *addr, "members", len(members))
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("listen failed", "err", err)
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	logger.Info("shutting down")
+	// The router holds no job state — nodes own their queues — so closing
+	// the listener is the whole drain story here.
+	if err := srv.Close(); err != nil {
+		logger.Warn("http close", "err", err)
+	}
+	logger.Info("bye")
+}
+
+// parseNodes parses the -nodes roster ("n1=http://a:8080,n2=http://b:8080").
+func parseNodes(s string) ([]fleet.Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("at least one name=url pair required")
+	}
+	var out []fleet.Member
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || url == "" {
+			return nil, errors.New("malformed entry " + pair + " (want name=url)")
+		}
+		out = append(out, fleet.Member{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)})
+	}
+	return out, nil
+}

@@ -37,8 +37,13 @@
 //
 // Beyond one-shot solves, the Solver interface is a session that
 // amortizes setup across requests and streams per-case results: NewLocal
-// embeds the solver engine in process, and the client package drives a
-// remote solverd daemon through the identical contract.
+// embeds the solver engine in process, the client package drives a
+// remote solverd daemon through the identical contract, and
+// cmd/solverfleet serves the same API over a cluster of solverd nodes —
+// internal/fleet consistent-hashes each request by its problem cache key
+// so repeats always land on the node whose cache owns the problem, and
+// the client SDK's retry/backoff and Last-Event-ID stream resume make a
+// node dying mid-batch invisible to callers.
 //
 // The execution planner is self-tuning: every warm solve feeds its
 // realized throughput back into a per-problem tuner, and once enough
@@ -61,6 +66,6 @@
 //
 // See README.md and the examples/ directory (examples/quickstart,
 // examples/embed, examples/batch, examples/stream, examples/service,
-// examples/observe, examples/decomposed, examples/tune) for the full
-// tour.
+// examples/observe, examples/decomposed, examples/tune, examples/fleet)
+// for the full tour.
 package repro

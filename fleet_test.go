@@ -1,0 +1,198 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/fleet"
+	"repro/internal/service"
+)
+
+// fleetNode is one in-process solverd participating in a fleet test.
+type fleetNode struct {
+	name string
+	svc  *service.Service
+	srv  *httptest.Server
+}
+
+// kill simulates the node's process dying: sever every connection, stop
+// the listener, abort whatever its engine was running.
+func (n *fleetNode) kill() {
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	n.svc.Abort()
+}
+
+// startFleetSolver assembles the third repro.Solver implementation: n
+// solverd nodes behind a consistent-hash router, driven through the Go
+// SDK pointed at the router.
+func startFleetSolver(t testing.TB, n int) (*fleet.Router, []*fleetNode, *client.Client) {
+	t.Helper()
+	var members []fleet.Member
+	var nodes []*fleetNode
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		svc := service.New(service.Config{NodeID: name, Workers: 2, WorkerBudget: 1})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(srv.Close)
+		t.Cleanup(func() { svc.Close() })
+		nodes = append(nodes, &fleetNode{name: name, svc: svc, srv: srv})
+		members = append(members, fleet.Member{Name: name, URL: srv.URL})
+	}
+	router, err := fleet.New(fleet.Config{
+		Members:       members,
+		CheckInterval: -1,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+	rsrv := httptest.NewServer(router.Handler())
+	t.Cleanup(rsrv.Close)
+	return router, nodes, client.New(rsrv.URL, client.WithRetry(4, 20*time.Millisecond))
+}
+
+// fleetOwnerOf resolves which node a request routes to, via the same
+// exported key derivation the router applies to wire bodies.
+func fleetOwnerOf(t testing.TB, router *fleet.Router, req repro.Request) string {
+	t.Helper()
+	wire, err := req.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router.Owner(fleet.RoutingKey(body))
+}
+
+// TestFleetStreamParity runs the streaming conformance shape through the
+// fleet router: every case exactly once, easy columns early, one terminal
+// done — the same contract the local and single-node solvers satisfy.
+func TestFleetStreamParity(t *testing.T) {
+	_, _, cl := startFleetSolver(t, 3)
+	defer cl.Close()
+	const easy = 4
+	req := hardEasyRequest(easy)
+
+	var events []repro.CaseEvent
+	var done *repro.JobView
+	err := cl.SolveStream(context.Background(), req, func(ev repro.CaseEvent) {
+		if ev.Done != nil {
+			done = ev.Done
+			return
+		}
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done == nil || done.State != repro.JobDone {
+		t.Fatalf("terminal view %+v", done)
+	}
+	if len(events) != 1+easy {
+		t.Fatalf("streamed %d case events, want %d", len(events), 1+easy)
+	}
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if seen[ev.Case] {
+			t.Fatalf("case %d delivered twice", ev.Case)
+		}
+		seen[ev.Case] = true
+	}
+	if events[0].Case == 0 {
+		t.Fatal("hard case streamed first — easy columns did not surface early")
+	}
+}
+
+// TestFleetKillNodeMidBatch is the resilience acceptance test: the node
+// streaming a batch dies after the first case arrives, and the batch still
+// completes — the SDK reattaches, learns the job is gone (404 through the
+// re-sharded router), resubmits, and dedupes the surviving node's replay
+// so the caller sees every case exactly once and one done event.
+func TestFleetKillNodeMidBatch(t *testing.T) {
+	router, nodes, cl := startFleetSolver(t, 3)
+	defer cl.Close()
+
+	// One very hard case (near-machine tolerance: thousands of plain-CG
+	// iterations) plus easies that stream within milliseconds: the kill
+	// lands while the hard column is far from converged.
+	const easy = 4
+	req := repro.Request{
+		Plate:        &repro.PlateSpec{Rows: 60, Cols: 60, Tractions: []float64{1, 1e-9, 1e-9, 1e-9, 1e-9}},
+		Solver:       repro.SolverSpec{M: 0, Tol: 1e-12},
+		OmitSolution: true,
+	}
+
+	owner := fleetOwnerOf(t, router, req)
+	var victim *fleetNode
+	for _, n := range nodes {
+		if n.name == owner {
+			victim = n
+		}
+	}
+	if victim == nil {
+		t.Fatalf("owner %q is not a fleet node", owner)
+	}
+
+	var events []repro.CaseEvent
+	var done *repro.JobView
+	killed := false
+	err := cl.SolveStream(context.Background(), req, func(ev repro.CaseEvent) {
+		if ev.Done != nil {
+			done = ev.Done
+			return
+		}
+		events = append(events, ev)
+		if !killed {
+			killed = true
+			victim.kill()
+		}
+	})
+	if err != nil {
+		t.Fatalf("batch failed after node death: %v", err)
+	}
+	if done == nil || done.State != repro.JobDone {
+		t.Fatalf("terminal view %+v", done)
+	}
+	if len(events) != 1+easy {
+		t.Fatalf("delivered %d case events, want %d (dedupe across resubmit broken?)", len(events), 1+easy)
+	}
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if seen[ev.Case] {
+			t.Fatalf("case %d delivered twice across the resubmit", ev.Case)
+		}
+		seen[ev.Case] = true
+	}
+
+	// The router noticed the death along the way: the victim is out of the
+	// ring and the fleet is still serving.
+	h := router.Health()
+	if h.Healthy != 2 || h.Status != "ok" {
+		t.Fatalf("fleet health after node death: %+v", h)
+	}
+	for _, nh := range h.Nodes {
+		if nh.Name == victim.name && nh.Up {
+			t.Fatalf("victim %s still marked up", victim.name)
+		}
+	}
+
+	// The done view came from a survivor: its job ID is not the victim's.
+	if done.ID == "" || owner == "" {
+		t.Fatalf("missing ids: done %q owner %q", done.ID, owner)
+	}
+	if got := done.ID[:len(victim.name)+1]; got == victim.name+"-" {
+		t.Fatalf("done view %s still attributed to the dead node", done.ID)
+	}
+}

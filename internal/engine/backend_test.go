@@ -120,7 +120,7 @@ func TestCacheEntrySharesDIAConversion(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := backendReq(8, 8, "dia")
-	key := req.cacheKey()
+	key := req.CacheKey()
 	entry, existed := s.cache.get(key)
 	if !existed {
 		t.Fatalf("no cache entry for %q", key)

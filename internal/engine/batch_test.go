@@ -228,7 +228,7 @@ func TestQuantileNearestRank(t *testing.T) {
 // job error must carry the underlying cause, not a generic message.
 func TestCacheCheckoutPlumbsRebuildError(t *testing.T) {
 	req := plateReq(6, 6, 2)
-	e := &cacheEntry{key: req.cacheKey()}
+	e := &cacheEntry{key: req.CacheKey()}
 	e.build(&req, nil)
 	if e.err != nil {
 		t.Fatal(e.err)

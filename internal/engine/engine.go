@@ -55,6 +55,11 @@ type Config struct {
 	HistoryLimit int
 	// LatencyWindow sizes the latency sample for p50/p99 (default 1024).
 	LatencyWindow int
+	// NodeID, when non-empty, names this engine instance and prefixes every
+	// job ID it mints ("n1-j-000042" instead of "j-000042"). Fleet members
+	// set it (solverd -node-id) so job IDs are unique across the cluster and
+	// a router can steer job lookups straight to the owning node by prefix.
+	NodeID string
 	// Tuning is the session default feedback policy for requests that do
 	// not pin their own ("off", "observe" or "adapt"; empty means adapt):
 	// whether the engine folds each executed plan's realized throughput
@@ -95,12 +100,13 @@ func (c Config) withDefaults() Config {
 // the worker runs the plan's tiles, and per-case completions are emitted to
 // the job's state table and stream subscribers as they happen.
 type Engine struct {
-	cfg     Config
-	planner plan.Planner
-	queue   chan *Job
-	cache   *cache
-	lat     *latencyRing
-	logger  *slog.Logger
+	cfg      Config
+	planner  plan.Planner
+	queue    chan *Job
+	cache    *cache
+	lat      *latencyRing
+	logger   *slog.Logger
+	idPrefix string // NodeID + "-" when configured; "" otherwise
 
 	// latByBackend splits the latency window by resolved matvec backend
 	// (keys "csr", "dia" and "decomposed"), feeding the per-backend
@@ -173,6 +179,9 @@ func New(cfg Config) *Engine {
 		tuner:   &plan.Tuner{},
 		started: time.Now(),
 	}
+	if cfg.NodeID != "" {
+		s.idPrefix = cfg.NodeID + "-"
+	}
 	s.registerMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -203,7 +212,7 @@ func (s *Engine) Submit(req Request) (*Job, error) {
 		cancel()
 		return nil, ErrClosed
 	}
-	job.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	job.id = fmt.Sprintf("%sj-%06d", s.idPrefix, s.nextID.Add(1))
 	// The observability record exists before the job is reachable from the
 	// queue or the lookup map, so workers and trace readers never see a
 	// partially-instrumented job.
@@ -280,7 +289,7 @@ func (s *Engine) PlanRequest(req Request) (PlanInfo, error) {
 	// the once blocks until that build publishes, exactly like a solve
 	// joining the build race).
 	var entry *cacheEntry
-	if e, ok := s.cache.peek(req.cacheKey()); ok {
+	if e, ok := s.cache.peek(req.CacheKey()); ok {
 		e.once.Do(func() { e.build(&req, nil) })
 		if e.err == nil {
 			entry = e
@@ -552,6 +561,18 @@ func (s *Engine) Stats() Stats {
 	return st
 }
 
+// NodeID reports the configured node identity ("" for standalone engines).
+func (s *Engine) NodeID() string { return s.cfg.NodeID }
+
+// Draining reports whether the engine has stopped accepting jobs (Close has
+// been called). Load balancers and fleet routers read it through the
+// readiness endpoint to take the node out of rotation before it disappears.
+func (s *Engine) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Abort cancels every unfinished job — queued jobs are skipped when
 // dequeued, running solves stop at their next iteration boundary. It is
 // the hard-stop lever for daemons whose drain deadline expired: call it
@@ -696,7 +717,7 @@ func (s *Engine) runJob(job *Job, ws *cg.Workspace, bws *cg.BlockWorkspace, work
 		name   string
 		entry  *cacheEntry // non-nil on the cached path
 	)
-	if key := job.req.cacheKey(); key != "" {
+	if key := job.req.CacheKey(); key != "" {
 		// existed=false only for the requester that created the entry; every
 		// later requester (even one blocking on the first build in once.Do)
 		// reuses the assembled system and estimated interval.

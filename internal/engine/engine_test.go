@@ -512,9 +512,9 @@ func TestCacheKeyDistinguishesSolverSettings(t *testing.T) {
 		func() Request { r := plateReq(10, 10, 3); r.Solver.Omega = 1.2; return r }(),
 		func() Request { r := plateReq(10, 10, 3); r.Plate.E = 2; return r }(),
 	}
-	seen := map[string]bool{base.cacheKey(): true}
+	seen := map[string]bool{base.CacheKey(): true}
 	for i, v := range variants {
-		k := v.cacheKey()
+		k := v.CacheKey()
 		if seen[k] {
 			t.Fatalf("variant %d collides: %s", i, k)
 		}
@@ -524,7 +524,7 @@ func TestCacheKeyDistinguishesSolverSettings(t *testing.T) {
 	// it must NOT split the cache.
 	loose := plateReq(10, 10, 3)
 	loose.Solver.Tol = 1e-3
-	if loose.cacheKey() != base.cacheKey() {
+	if loose.CacheKey() != base.CacheKey() {
 		t.Fatal("tolerance changed the cache key")
 	}
 	// Keys are canonical: spelling out the defaults lands on the same
@@ -533,16 +533,16 @@ func TestCacheKeyDistinguishesSolverSettings(t *testing.T) {
 	explicit.Solver.Splitting = "SSOR-Multicolor"
 	explicit.Solver.Coeffs = "Least-Squares"
 	explicit.Solver.Omega = 1
-	if explicit.cacheKey() != base.cacheKey() {
-		t.Fatalf("explicit defaults split the cache: %q vs %q", explicit.cacheKey(), base.cacheKey())
+	if explicit.CacheKey() != base.CacheKey() {
+		t.Fatalf("explicit defaults split the cache: %q vs %q", explicit.CacheKey(), base.CacheKey())
 	}
 	// Same for the material and traction defaults.
 	explicitMat := plateReq(10, 10, 3)
 	explicitMat.Plate = &PlateSpec{Rows: 10, Cols: 10, E: 1, Nu: 0.3, T: 1, Traction: 1}
-	if explicitMat.cacheKey() != base.cacheKey() {
-		t.Fatalf("explicit default material split the cache: %q vs %q", explicitMat.cacheKey(), base.cacheKey())
+	if explicitMat.CacheKey() != base.CacheKey() {
+		t.Fatalf("explicit default material split the cache: %q vs %q", explicitMat.CacheKey(), base.CacheKey())
 	}
-	if k := (&Request{System: &SystemSpec{N: 2}}).cacheKey(); k != "" {
+	if k := (&Request{System: &SystemSpec{N: 2}}).CacheKey(); k != "" {
 		t.Fatalf("unkeyed system got cache key %q", k)
 	}
 }

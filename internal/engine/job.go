@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -168,6 +169,11 @@ type CaseResult struct {
 // of a stream instead carries the finished job in Done (with Case = -1);
 // exactly one Done event ends every stream.
 type CaseEvent struct {
+	// Seq is the event's position in the job's delivery order, starting at
+	// 1 and strictly increasing. It is the SSE event ID: a client that
+	// reattaches with Last-Event-ID = Seq skips everything already
+	// delivered. 0 on the terminal Done event.
+	Seq    int         `json:"seq,omitempty"`
 	Case   int         `json:"case"`
 	Result *CaseResult `json:"result,omitempty"`
 	Done   *JobView    `json:"done,omitempty"`
@@ -210,6 +216,7 @@ type Job struct {
 	smu      sync.Mutex
 	cases    []CaseResult // per-case results, filled as columns converge
 	caseDone []bool
+	caseSeq  []int // per-case delivery order (1-based), for SSE event IDs
 	nDone    int
 	subs     map[int]chan CaseEvent
 	nextSub  int
@@ -283,6 +290,7 @@ func (j *Job) initCases(rhs int) {
 	j.smu.Lock()
 	j.cases = make([]CaseResult, rhs)
 	j.caseDone = make([]bool, rhs)
+	j.caseSeq = make([]int, rhs)
 	j.smu.Unlock()
 }
 
@@ -300,7 +308,8 @@ func (j *Job) caseFinished(idx int, cr CaseResult) {
 	j.caseDone[idx] = true
 	j.cases[idx] = cr
 	j.nDone++
-	ev := CaseEvent{Case: idx, Result: &j.cases[idx]}
+	j.caseSeq[idx] = j.nDone
+	ev := CaseEvent{Seq: j.nDone, Case: idx, Result: &j.cases[idx]}
 	for _, ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -323,15 +332,18 @@ func (j *Job) snapshotCases() []CaseResult {
 // cases as replay events plus a channel carrying every later completion.
 // The channel is closed once the job finishes and all events are delivered;
 // a subscriber joining after that gets the full replay and an
-// already-closed channel.
+// already-closed channel. Replay is ordered by delivery sequence (the order
+// the cases originally finished in), so a whole stream — replay then live —
+// carries strictly increasing Seq values.
 func (j *Job) subscribe() (replay []CaseEvent, ch <-chan CaseEvent, id int) {
 	j.smu.Lock()
 	defer j.smu.Unlock()
 	for idx := range j.cases {
 		if j.caseDone[idx] {
-			replay = append(replay, CaseEvent{Case: idx, Result: &j.cases[idx]})
+			replay = append(replay, CaseEvent{Seq: j.caseSeq[idx], Case: idx, Result: &j.cases[idx]})
 		}
 	}
+	sort.Slice(replay, func(a, b int) bool { return replay[a].Seq < replay[b].Seq })
 	// Buffered to the largest number of events that can still arrive, so
 	// the solver-side publish never blocks. Before the solve starts the
 	// case table is empty, so size by the request's batch width instead.

@@ -376,14 +376,19 @@ func (s SolverSpec) CoreConfig(isPlate bool) (core.Config, error) {
 	}, nil
 }
 
-// cacheKey names the problem+preconditioner this request needs, or "" when
+// CacheKey names the problem+preconditioner this request needs, or "" when
 // the request is uncacheable (a general system without a Key, or an
 // unresolvable solver spec). Keys are canonical: spelled-out defaults
 // ("ssor-multicolor", "ones", ω = 1) share an entry with the empty-string
 // shorthand. The backend is deliberately not part of the key: an entry
 // caches the CSR and its DIA conversion side by side, so requests
 // differing only in backend share one assembled problem.
-func (req *Request) cacheKey() string {
+//
+// Exported because the key doubles as the fleet router's routing key: a
+// consistent-hash router computes it from the wire request alone — no
+// assembly, no cache — so repeated solves of one problem always land on
+// the node whose cache owns that problem's warm entry.
+func (req *Request) CacheKey() string {
 	var problem string
 	switch {
 	case req.Prebuilt != nil:

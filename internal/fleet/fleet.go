@@ -1,0 +1,363 @@
+// Package fleet turns a set of independent solverd nodes into one solver:
+// a consistent-hash router that proxies the full /v1 API, routing every
+// request by the same cache key the engine's problem cache uses. Repeated
+// solves of one problem always land on the node whose cache holds that
+// problem's warm entry, so N nodes give N disjoint warm caches instead of
+// N cold ones — the fleet-level analogue of the paper amortizing
+// preconditioner setup across many cheap steps.
+//
+// The router derives the routing key from the wire request alone
+// (engine.Request.CacheKey needs no assembly and no cache), health-checks
+// members through their /v1/healthz readiness endpoint, re-shards the ring
+// when membership changes (consistent hashing moves only the dead node's
+// keys), aggregates /v1/stats and /metrics across the fleet with per-node
+// labels, and records its routing decisions in an obs registry
+// (repro_fleet_routes_total{node}, rebalance counters, per-node health
+// gauges).
+//
+// A fleet fronted by this router is the third interchangeable
+// implementation of the repro.Solver contract: point the Go SDK at the
+// router and Solve/SolveStream/Plan/Stats behave as they do against one
+// node, including SSE streaming (proxied with flush-through) and recovery
+// from a node dying mid-batch (the SDK resubmits; the re-sharded ring
+// lands the job on a surviving node).
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Member names one solverd node. Name must equal the node's configured
+// node id (solverd -node-id): job IDs are prefixed with it, and the router
+// routes job lookups back to the issuing node by that prefix.
+type Member struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Config configures a Router.
+type Config struct {
+	// Members is the fleet roster (at least one; names unique).
+	Members []Member
+	// VNodes is the consistent-hash virtual-node count per member
+	// (0 = DefaultVNodes).
+	VNodes int
+	// CheckInterval is the background health-check period (0 = 2s;
+	// negative disables the background checker — probes then happen only
+	// via CheckNow and proxy-failure mark-downs).
+	CheckInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// Client is the proxy transport. It must not enforce an overall
+	// request timeout (streams pass through). Nil uses a fresh
+	// http.Client.
+	Client *http.Client
+	// Logger receives routing and membership events (nil = slog default).
+	Logger *slog.Logger
+}
+
+// member is a roster entry plus its live health state (guarded by
+// Router.mu) and its per-node instruments.
+type member struct {
+	name string
+	url  string // normalized: no trailing slash
+
+	up      bool
+	lastErr string
+
+	routes    *obs.Counter
+	proxyErrs *obs.Counter
+}
+
+// Router is the fleet front door: an http.Handler proxying the /v1 API
+// across the member nodes. Construct with New; always Close (it owns a
+// background health checker).
+type Router struct {
+	hc      *http.Client
+	logger  *slog.Logger
+	vnodes  int
+	probeTO time.Duration
+	start   time.Time
+	reg     *obs.Registry
+
+	mu      sync.Mutex
+	members []*member // roster order
+	byName  map[string]*member
+	ring    *Ring // over healthy members only
+	rr      int   // round-robin cursor for keyless requests
+
+	rebalances *obs.Counter
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	checker  sync.WaitGroup
+}
+
+// New validates the roster and returns a running router. Members start
+// presumed healthy; the first health pass (background, or CheckNow)
+// corrects that, and a failed proxy marks a node down immediately.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("fleet: no members configured")
+	}
+	r := &Router{
+		hc:      cfg.Client,
+		logger:  cfg.Logger,
+		vnodes:  cfg.VNodes,
+		probeTO: cfg.ProbeTimeout,
+		start:   time.Now(),
+		reg:     obs.NewRegistry(),
+		byName:  make(map[string]*member, len(cfg.Members)),
+	}
+	if r.hc == nil {
+		r.hc = &http.Client{}
+	}
+	if r.logger == nil {
+		r.logger = slog.Default()
+	}
+	if r.probeTO <= 0 {
+		r.probeTO = 2 * time.Second
+	}
+	for _, m := range cfg.Members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("fleet: member with empty name (URL %q)", m.URL)
+		}
+		if strings.Contains(m.Name, "-j-") {
+			// Job IDs are "<name>-j-<seq>"; a name containing the separator
+			// would make prefix routing ambiguous.
+			return nil, fmt.Errorf("fleet: member name %q must not contain %q", m.Name, "-j-")
+		}
+		if _, dup := r.byName[m.Name]; dup {
+			return nil, fmt.Errorf("fleet: duplicate member name %q", m.Name)
+		}
+		u, err := url.Parse(m.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("fleet: member %s has invalid URL %q", m.Name, m.URL)
+		}
+		mm := &member{
+			name: m.Name,
+			url:  strings.TrimRight(m.URL, "/"),
+			up:   true,
+			routes: r.reg.LabeledCounter("repro_fleet_routes_total",
+				"Requests routed to each fleet node.", obs.Label{Key: "node", Value: m.Name}),
+			proxyErrs: r.reg.LabeledCounter("repro_fleet_proxy_errors_total",
+				"Proxy attempts that failed to reach the node.", obs.Label{Key: "node", Value: m.Name}),
+		}
+		r.members = append(r.members, mm)
+		r.byName[m.Name] = mm
+		r.reg.GaugeFunc("repro_fleet_node_up",
+			"Per-node health: 1 when the node passed its last check.",
+			func() float64 {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				if mm.up {
+					return 1
+				}
+				return 0
+			}, obs.Label{Key: "node", Value: m.Name})
+	}
+	r.rebalances = r.reg.Counter("repro_fleet_rebalances_total",
+		"Ring rebuilds triggered by membership/health changes.")
+	r.reg.GaugeFunc("repro_fleet_members", "Configured fleet size.",
+		func() float64 { return float64(len(r.members)) })
+	r.reg.GaugeFunc("repro_fleet_healthy_members", "Members currently considered healthy.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			n := 0
+			for _, m := range r.members {
+				if m.up {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	r.reg.GaugeFunc("repro_fleet_uptime_seconds", "Router uptime.",
+		func() float64 { return time.Since(r.start).Seconds() })
+
+	r.mu.Lock()
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+
+	interval := cfg.CheckInterval
+	if interval == 0 {
+		interval = 2 * time.Second
+	}
+	r.stop = make(chan struct{})
+	if interval > 0 {
+		r.checker.Add(1)
+		go r.checkLoop(interval)
+	}
+	return r, nil
+}
+
+// Close stops the background health checker. It does not touch the member
+// nodes.
+func (r *Router) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.checker.Wait()
+	return nil
+}
+
+// Members returns the configured roster.
+func (r *Router) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Member, len(r.members))
+	for i, m := range r.members {
+		out[i] = Member{Name: m.name, URL: m.url}
+	}
+	return out
+}
+
+// Owner returns the healthy member a routing key currently maps to ("" for
+// an uncacheable key, which round-robins instead). Exported for tests and
+// examples asserting cache affinity.
+func (r *Router) Owner(key string) string {
+	if key == "" {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.Owner(key)
+}
+
+// rebuildRingLocked recomputes the consistent-hash ring over the currently
+// healthy members. Callers hold r.mu.
+func (r *Router) rebuildRingLocked() {
+	names := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m.up {
+			names = append(names, m.name)
+		}
+	}
+	r.ring = NewRing(names, r.vnodes)
+}
+
+// markDown records a proxy failure against m: the node drops out of the
+// ring immediately (no waiting for the next health tick) so the retry and
+// every subsequent request reroute to survivors.
+func (r *Router) markDown(m *member, cause error) {
+	m.proxyErrs.Inc()
+	r.mu.Lock()
+	changed := m.up
+	if changed {
+		m.up = false
+		m.lastErr = cause.Error()
+		r.rebuildRingLocked()
+	}
+	r.mu.Unlock()
+	if changed {
+		r.rebalances.Inc()
+		r.logger.Warn("fleet member down", "node", m.name, "cause", cause.Error())
+	}
+}
+
+// checkLoop is the background health checker.
+func (r *Router) checkLoop(interval time.Duration) {
+	defer r.checker.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.CheckNow(context.Background())
+		}
+	}
+}
+
+// CheckNow probes every member's /v1/healthz once, in parallel, and
+// re-shards the ring if any verdict changed. A node is healthy only on
+// HTTP 200 — a draining node's 503 takes it out of rotation while it
+// finishes its queue. Exported so tests and operators can force a
+// deterministic membership refresh.
+func (r *Router) CheckNow(ctx context.Context) {
+	r.mu.Lock()
+	members := append([]*member(nil), r.members...)
+	r.mu.Unlock()
+
+	up := make([]bool, len(members))
+	errs := make([]string, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			up[i], errs[i] = r.probe(ctx, m)
+		}()
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	changed := false
+	for i, m := range members {
+		if m.up != up[i] {
+			changed = true
+		}
+		m.up = up[i]
+		m.lastErr = errs[i]
+	}
+	if changed {
+		r.rebuildRingLocked()
+	}
+	healthy := r.ring.Len()
+	r.mu.Unlock()
+	if changed {
+		r.rebalances.Inc()
+		r.logger.Info("fleet membership changed", "healthy", healthy, "members", len(members))
+	}
+}
+
+// probe performs one readiness check against m.
+func (r *Router) probe(ctx context.Context, m *member) (up bool, errText string) {
+	ctx, cancel := context.WithTimeout(ctx, r.probeTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+"/v1/healthz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("healthz returned status %d", resp.StatusCode)
+	}
+	return true, ""
+}
+
+// healthyCandidates returns the proxy order for a request: the key's owner
+// and its clockwise successors for cacheable requests, the round-robin
+// rotation of healthy members for keyless ones.
+func (r *Router) healthyCandidates(key string) []*member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	if key != "" {
+		names = r.ring.Owners(key, r.ring.Len())
+	} else {
+		names = r.ring.Members()
+		if n := len(names); n > 0 {
+			r.rr++
+			rot := r.rr % n
+			names = append(names[rot:], names[:rot]...)
+		}
+	}
+	out := make([]*member, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.byName[n])
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member when Config.VNodes is
+// zero. More points smooth the key distribution (each member owns many
+// small arcs instead of one big one) at O(members × vnodes) memory.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over member names. Each member
+// is hashed onto the ring at vnodes points; a key belongs to the member
+// owning the first point at or clockwise after the key's hash. Two
+// properties make it the fleet's routing structure:
+//
+//   - Deterministic: the ring is a pure function of (members, vnodes), so
+//     every router instance — and every test — computes identical
+//     ownership. No seeds, no insertion-order dependence.
+//   - Minimal re-keying: removing a member deletes only that member's
+//     points, so exactly the keys it owned move (to their next clockwise
+//     owner); every other key's successor point is untouched. Adding a
+//     member steals only the arcs its new points land in. A naive
+//     hash-mod-N router would reshuffle nearly everything and flush every
+//     node's warm cache on each membership change.
+//
+// Membership changes build a new Ring rather than mutating; lookups on an
+// immutable ring need no locks.
+type Ring struct {
+	members []string // sorted, deduplicated
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// hashKey is 64-bit FNV-1a run through a 64-bit avalanche finalizer:
+// cheap, dependency-free, and stable across processes and architectures
+// (unlike maphash, which is seeded). Raw FNV-1a clusters badly on the
+// short, highly similar strings this ring hashes ("n1#0", "n1#1", …);
+// the finalizer (the murmur3 fmix64 constants) spreads single-bit input
+// differences over the whole word, which is what the balance guarantee
+// rests on.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// NewRing builds the ring for the given member names with vnodes points
+// per member (vnodes <= 0 selects DefaultVNodes). Duplicate names collapse
+// to one membership.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hashKey(m + "#" + strconv.Itoa(i)), m})
+		}
+	}
+	// Tie-break equal hashes by owner name so the order — and therefore
+	// ownership — never depends on construction order.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].owner < r.points[b].owner
+	})
+	return r
+}
+
+// Members returns the member names in sorted order.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successor(key)].owner
+}
+
+// Owners returns up to n distinct members in clockwise order starting at
+// key's owner: the failover order when the owner is unreachable, chosen so
+// every router agrees on the second choice too.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.successor(key); len(out) < n && i < len(r.points); i++ {
+		owner := r.points[(start+i)%len(r.points)].owner
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// successor returns the index of the first point at or clockwise after
+// key's hash.
+func (r *Ring) successor(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}

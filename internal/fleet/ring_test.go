@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates deterministic keys shaped like real routing keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("plate/%dx%d/E=1,nu=0.3,t=1/q=1|ssor-multicolor/m=%d/ones/omega=1", 8+i%40, 8+(i/40)%40, i%5)
+	}
+	return keys
+}
+
+// TestRingDeterminism: ownership is a pure function of the member set —
+// construction order must not matter, and rebuilding must not move keys.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3", "n4", "n5"}, 0)
+	b := NewRing([]string{"n4", "n2", "n5", "n1", "n3"}, 0)
+	c := NewRing([]string{"n1", "n2", "n3", "n4", "n5"}, 0)
+	for _, key := range testKeys(2000) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner depends on construction order (%s vs %s)", key, a.Owner(key), b.Owner(key))
+		}
+		if a.Owner(key) != c.Owner(key) {
+			t.Fatalf("key %q: rebuild moved the key (%s vs %s)", key, a.Owner(key), c.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count, no member's share
+// of a large key population strays far from fair. The bound is loose
+// enough for hash variance but tight enough that a broken vnode scheme
+// (one arc per member) fails it.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(members, 0)
+	keys := testKeys(20000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(len(keys)) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m]) / fair
+		if share < 0.7 || share > 1.3 {
+			t.Errorf("member %s owns %.2f× the fair share (%d of %d keys)", m, share, counts[m], len(keys))
+		}
+	}
+}
+
+// TestRingMinimalRekeying: removing one member moves exactly the keys it
+// owned — every other key keeps its owner (the warm-cache-preservation
+// property the fleet router depends on). Adding a member moves keys only
+// onto the new member.
+func TestRingMinimalRekeying(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+	before := NewRing(members, 0)
+	keys := testKeys(10000)
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		owners[k] = before.Owner(k)
+	}
+
+	const removed = "n3"
+	var without []string
+	for _, m := range members {
+		if m != removed {
+			without = append(without, m)
+		}
+	}
+	after := NewRing(without, 0)
+	moved, ownedByRemoved := 0, 0
+	for _, k := range keys {
+		if owners[k] == removed {
+			ownedByRemoved++
+		}
+		if after.Owner(k) != owners[k] {
+			moved++
+			if owners[k] != removed {
+				t.Fatalf("key %q moved from surviving member %s to %s", k, owners[k], after.Owner(k))
+			}
+		}
+	}
+	if moved != ownedByRemoved {
+		t.Fatalf("%d keys moved, but the removed member owned %d", moved, ownedByRemoved)
+	}
+	// ~K/N of the keys move, bounded by the balance guarantee.
+	if limit := int(1.3 * float64(len(keys)) / float64(len(members))); moved > limit {
+		t.Fatalf("%d keys moved on one removal, want <= %d (~K/N)", moved, limit)
+	}
+
+	// Adding a member steals keys only for itself.
+	grown := NewRing(append(append([]string(nil), members...), "n7"), 0)
+	for _, k := range keys {
+		if o := grown.Owner(k); o != owners[k] && o != "n7" {
+			t.Fatalf("key %q moved from %s to %s when only n7 joined", k, owners[k], o)
+		}
+	}
+}
+
+// TestRingOwners: the failover order starts at the owner, lists distinct
+// members, and is capped by membership.
+func TestRingOwners(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, key := range testKeys(100) {
+		owners := r.Owners(key, 5)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 5) = %v, want 3 distinct members", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %s, want the owner %s", key, owners[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %s: %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing rather than panicking.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if o := r.Owner("anything"); o != "" {
+		t.Fatalf("empty ring returned owner %q", o)
+	}
+	if os := r.Owners("anything", 3); os != nil {
+		t.Fatalf("empty ring returned owners %v", os)
+	}
+}

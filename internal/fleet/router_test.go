@@ -1,0 +1,314 @@
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/fleet"
+	"repro/internal/service"
+)
+
+// testNode is one in-process solverd: an engine service behind an httptest
+// listener, named so the router can route job IDs back to it.
+type testNode struct {
+	name string
+	svc  *service.Service
+	srv  *httptest.Server
+}
+
+// kill severs every open connection and stops the listener — the closest
+// an httptest server gets to the node's process dying.
+func (n *testNode) kill() {
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+}
+
+// startFleet brings up n nodes and a router over them. The background
+// health checker is disabled so tests control membership transitions
+// (proxy-failure mark-downs and explicit CheckNow) deterministically.
+func startFleet(t *testing.T, n int) (*fleet.Router, *httptest.Server, []*testNode) {
+	t.Helper()
+	var members []fleet.Member
+	var nodes []*testNode
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		svc := service.New(service.Config{NodeID: name, Workers: 2, WorkerBudget: 1})
+		srv := httptest.NewServer(svc.Handler())
+		t.Cleanup(srv.Close) // idempotent; safe after kill
+		t.Cleanup(func() { svc.Close() })
+		nodes = append(nodes, &testNode{name: name, svc: svc, srv: srv})
+		members = append(members, fleet.Member{Name: name, URL: srv.URL})
+	}
+	router, err := fleet.New(fleet.Config{
+		Members:       members,
+		CheckInterval: -1,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { router.Close() })
+	rsrv := httptest.NewServer(router.Handler())
+	t.Cleanup(rsrv.Close)
+	return router, rsrv, nodes
+}
+
+// routingKeyOf computes the router's key for a request, through the same
+// exported derivation the router uses on the wire body.
+func routingKeyOf(t *testing.T, req repro.Request) string {
+	t.Helper()
+	wire, err := req.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet.RoutingKey(body)
+}
+
+func plateReq(rows int) repro.Request {
+	return repro.Request{
+		Plate:  &repro.PlateSpec{Rows: rows, Cols: rows},
+		Solver: repro.SolverSpec{M: 2, Coeffs: "least-squares", Tol: 1e-7},
+	}
+}
+
+// TestFleetCacheAffinity is the tentpole acceptance test: K distinct
+// problems solved R times each through the router produce exactly K
+// fleet-wide cache misses and K×(R−1) hits — the same warm-cache behavior
+// a single node gives, meaning every repeat landed on the node whose cache
+// owned the problem.
+func TestFleetCacheAffinity(t *testing.T) {
+	router, rsrv, nodes := startFleet(t, 3)
+	cl := client.New(rsrv.URL)
+	defer cl.Close()
+
+	const repeats = 3
+	sizes := []int{8, 9, 10, 11, 12, 13}
+	ctx := context.Background()
+	for r := 0; r < repeats; r++ {
+		for _, sz := range sizes {
+			if _, err := cl.Solve(ctx, plateReq(sz)); err != nil {
+				t.Fatalf("solve %d×%d (round %d): %v", sz, sz, r, err)
+			}
+		}
+	}
+
+	// The SDK's Stats decodes the fleet aggregate unchanged.
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMisses := int64(len(sizes))
+	wantHits := int64(len(sizes) * (repeats - 1))
+	if st.CacheMisses != wantMisses || st.CacheHits != wantHits {
+		t.Fatalf("fleet cache hits/misses = %d/%d, want %d/%d (affinity broken: repeats landed on cold nodes)",
+			st.CacheHits, st.CacheMisses, wantHits, wantMisses)
+	}
+	if st.JobsDone != int64(len(sizes)*repeats) {
+		t.Fatalf("fleet jobs done = %d, want %d", st.JobsDone, len(sizes)*repeats)
+	}
+
+	// Per-node: every node that saw a problem saw it warm after round one —
+	// each node's misses equal its share of distinct problems.
+	keysByNode := map[string]int{}
+	for _, sz := range sizes {
+		keysByNode[router.Owner(routingKeyOf(t, plateReq(sz)))]++
+	}
+	if len(keysByNode) < 2 {
+		t.Fatalf("all %d problems routed to one node; want a spread", len(sizes))
+	}
+	fstats := router.Stats(ctx)
+	for _, ns := range fstats.Nodes {
+		if ns.Stats == nil {
+			t.Fatalf("node %s unreachable in stats: %s", ns.Name, ns.Error)
+		}
+		owned := int64(keysByNode[ns.Name])
+		if ns.Stats.CacheMisses != owned {
+			t.Fatalf("node %s: %d misses, want %d (its share of distinct problems)", ns.Name, ns.Stats.CacheMisses, owned)
+		}
+		if ns.Stats.CacheHits != owned*int64(repeats-1) {
+			t.Fatalf("node %s: %d hits, want %d", ns.Name, ns.Stats.CacheHits, owned*(repeats-1))
+		}
+	}
+	_ = nodes
+}
+
+// TestFleetJobRouting: job-scoped routes follow the job ID's node prefix
+// through the router — status, trace, and the canonical 404 for unknown
+// jobs.
+func TestFleetJobRouting(t *testing.T) {
+	_, rsrv, _ := startFleet(t, 3)
+	cl := client.New(rsrv.URL)
+	defer cl.Close()
+	ctx := context.Background()
+
+	res, err := cl.Solve(ctx, plateReq(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.JobID, "-j-") {
+		t.Fatalf("job ID %q is not node-prefixed", res.JobID)
+	}
+	ti, err := cl.Trace(ctx, res.JobID)
+	if err != nil {
+		t.Fatalf("trace through router: %v", err)
+	}
+	if ti.JobID != res.JobID || len(ti.Spans) == 0 {
+		t.Fatalf("trace %+v does not describe job %s", ti, res.JobID)
+	}
+
+	// Unknown prefix scatters and yields the canonical single-node 404.
+	_, err = cl.Trace(ctx, "zz-j-000099")
+	if client.StatusCode(err) != http.StatusNotFound {
+		t.Fatalf("unknown job returned %v (status %d), want 404", err, client.StatusCode(err))
+	}
+	if got, want := err.Error(), "unknown job zz-j-000099"; got != want {
+		t.Fatalf("404 text %q, want %q", got, want)
+	}
+}
+
+// TestFleetValidationParity: a malformed request through the router keeps
+// the node's authoritative error text and 400 status (the router must not
+// pre-judge bodies it cannot parse).
+func TestFleetValidationParity(t *testing.T) {
+	_, rsrv, _ := startFleet(t, 2)
+	cl := client.New(rsrv.URL)
+	defer cl.Close()
+
+	local := repro.NewLocal(repro.LocalConfig{Workers: 1})
+	defer local.Close()
+
+	bad := repro.Request{Plate: &repro.PlateSpec{Rows: 1, Cols: 5}}
+	ctx := context.Background()
+	_, lerr := local.Solve(ctx, bad)
+	_, rerr := cl.Solve(ctx, bad)
+	if lerr == nil || rerr == nil {
+		t.Fatalf("bad request accepted: local %v, fleet %v", lerr, rerr)
+	}
+	if lerr.Error() != rerr.Error() {
+		t.Fatalf("error text differs:\nlocal: %v\nfleet: %v", lerr, rerr)
+	}
+	if client.StatusCode(rerr) != http.StatusBadRequest {
+		t.Fatalf("fleet status %d, want 400", client.StatusCode(rerr))
+	}
+}
+
+// TestFleetMetricsMerge: the router exposition carries its own routing
+// counters plus every node's metrics relabeled with node="...", each
+// family header appearing exactly once.
+func TestFleetMetricsMerge(t *testing.T) {
+	_, rsrv, _ := startFleet(t, 2)
+	cl := client.New(rsrv.URL)
+	defer cl.Close()
+	if _, err := cl.Solve(context.Background(), plateReq(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(rsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+
+	if !strings.Contains(text, `repro_fleet_routes_total{node="n1"}`) ||
+		!strings.Contains(text, `repro_fleet_routes_total{node="n2"}`) {
+		t.Fatalf("router metrics missing per-node route counters:\n%s", text)
+	}
+	for _, node := range []string{"n1", "n2"} {
+		if !strings.Contains(text, fmt.Sprintf(`repro_jobs_total{node=%q,state="done"}`, node)) {
+			t.Fatalf("merged exposition missing node %s engine metrics:\n%s", node, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE repro_jobs_total "); n != 1 {
+		t.Fatalf("family header repeated %d times, want once", n)
+	}
+	// Histogram sample relabeling keeps the le label intact.
+	if !strings.Contains(text, `repro_queue_wait_seconds_bucket{node="n1",le=`) {
+		t.Fatalf("histogram buckets not relabeled:\n%s", text)
+	}
+}
+
+// TestFleetHealthAndResharding: a dead node is discovered by CheckNow,
+// leaves the ring (moving only its keys), and the fleet healthz verdict
+// tracks it.
+func TestFleetHealthAndResharding(t *testing.T) {
+	router, rsrv, nodes := startFleet(t, 3)
+	cl := client.New(rsrv.URL)
+	defer cl.Close()
+
+	before := map[string]string{}
+	for sz := 8; sz < 20; sz++ {
+		key := routingKeyOf(t, plateReq(sz))
+		before[key] = router.Owner(key)
+	}
+
+	nodes[1].kill()
+	router.CheckNow(context.Background())
+
+	h := router.Health()
+	if h.Healthy != 2 || h.Status != "ok" {
+		t.Fatalf("after killing one of three nodes: %+v", h)
+	}
+	for _, nh := range h.Nodes {
+		if (nh.Name == nodes[1].name) == nh.Up {
+			t.Fatalf("node %s up=%v after kill of %s", nh.Name, nh.Up, nodes[1].name)
+		}
+	}
+
+	// Only the dead node's keys moved.
+	for key, owner := range before {
+		now := router.Owner(key)
+		if owner == nodes[1].name {
+			if now == nodes[1].name || now == "" {
+				t.Fatalf("key %q still owned by dead node", key)
+			}
+		} else if now != owner {
+			t.Fatalf("key %q moved %s→%s though its owner survived", key, owner, now)
+		}
+	}
+
+	// Solves still succeed, including ones whose owner died.
+	ctx := context.Background()
+	for sz := 8; sz < 20; sz++ {
+		if _, err := cl.Solve(ctx, plateReq(sz)); err != nil {
+			t.Fatalf("solve %d after node death: %v", sz, err)
+		}
+	}
+
+	// All nodes dead → healthz 503 and a gateway error for solves.
+	nodes[0].kill()
+	nodes[2].kill()
+	router.CheckNow(ctx)
+	resp, err := http.Get(rsrv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no live nodes returned %d, want 503", resp.StatusCode)
+	}
+	fast := client.New(rsrv.URL, client.WithRetry(1, time.Millisecond))
+	defer fast.Close()
+	if _, err := fast.Solve(ctx, plateReq(8)); client.StatusCode(err) != http.StatusBadGateway {
+		t.Fatalf("solve with no live nodes returned %v, want 502", err)
+	}
+}

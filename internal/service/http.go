@@ -39,6 +39,7 @@ type errorResponse struct {
 //	GET    /v1/jobs/{id}/trace stage timeline + sampled convergence curve
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
 //	GET    /v1/stats           queue, cache, tiling and latency statistics
+//	GET    /v1/healthz         readiness: 200 while serving, 503 once draining
 //	GET    /metrics            Prometheus text exposition
 //
 // Every request is logged to the engine's structured logger with a
@@ -51,8 +52,48 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.logRequests(mux)
+}
+
+// Health is the GET /v1/healthz payload: the few facts a load balancer or
+// fleet router needs to decide whether to keep sending work here. The
+// response status carries the verdict — 200 while serving, 503 once the
+// node is draining — so checkers need not parse the body at all.
+type Health struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Node is the engine's configured node identity ("" standalone).
+	Node string `json:"node,omitempty"`
+	// QueueDepth/QueueCap describe submission headroom right now.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Running is the number of jobs currently executing.
+	Running int `json:"running"`
+	// Draining reports that Close has been called: the node finishes what
+	// it has but accepts nothing new.
+	Draining      bool    `json:"draining"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	h := Health{
+		Status:        "ok",
+		Node:          s.NodeID(),
+		QueueDepth:    st.QueueDepth,
+		QueueCap:      st.QueueCap,
+		Running:       st.Running,
+		Draining:      s.Draining(),
+		UptimeSeconds: st.UptimeSeconds,
+	}
+	code := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // nextRequestID numbers requests process-wide for log correlation.

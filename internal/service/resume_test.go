@@ -1,0 +1,154 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthzReadiness: the readiness endpoint answers 200/ok while the
+// node serves and flips to 503/draining once Close is called — the signal
+// the fleet router's health checker keys off.
+func TestHealthzReadiness(t *testing.T) {
+	s := New(Config{Workers: 1, NodeID: "n1"})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var h Health
+	if code := getJSON(t, srv, "/v1/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz while serving: status %d", code)
+	}
+	if h.Status != "ok" || h.Draining || h.Node != "n1" {
+		t.Fatalf("healthz payload %+v, want ok/not-draining/node n1", h)
+	}
+	if h.QueueCap <= 0 || h.UptimeSeconds < 0 {
+		t.Fatalf("healthz payload %+v missing capacity/uptime facts", h)
+	}
+
+	s.Close()
+	h = Health{}
+	if code := getJSON(t, srv, "/v1/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after Close: status %d, want 503", code)
+	}
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("healthz payload after Close %+v, want draining", h)
+	}
+}
+
+// idEvent is one SSE frame with its id line, for resume assertions.
+type idEvent struct {
+	id   int
+	name string
+	data []byte
+}
+
+// readSSEWithIDs parses frames including their "id:" lines until the
+// stream closes.
+func readSSEWithIDs(t *testing.T, r *bufio.Reader) []idEvent {
+	t.Helper()
+	var out []idEvent
+	ev := idEvent{id: -1}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return out
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			ev.id, _ = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "event: "):
+			ev.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && ev.name != "":
+			out = append(out, ev)
+			if ev.name == "done" {
+				return out
+			}
+			ev = idEvent{id: -1}
+		}
+	}
+}
+
+// TestStreamResumeSkipsDelivered: attaching to a finished batch with
+// Last-Event-ID replays only the events after it — sequence numbers are
+// monotone per job, so the reattaching client never sees a duplicate and
+// the done frame's id continues the sequence.
+func TestStreamResumeSkipsDelivered(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Five fast cases: every seq 1..5 exists by the time we attach.
+	req := SolveRequest{
+		Plate:        &PlateSpec{Rows: 8, Cols: 8, Tractions: []float64{1, 1, 1, 1, 1}},
+		Solver:       SolverSpec{M: 2, Tol: 1e-7},
+		OmitSolution: true,
+	}
+	resp, body := postJSON(t, srv, "/v1/solve", solveHTTPRequest{SolveRequest: req, Async: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", resp.StatusCode, body)
+	}
+	var accepted JobView
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var v JobView
+		getJSON(t, srv, "/v1/jobs/"+accepted.ID, &v)
+		if v.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", v.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	const lastSeen = 2
+	hreq, _ := http.NewRequest("GET", srv.URL+"/v1/jobs/"+accepted.ID, nil)
+	hreq.Header.Set("Accept", "text/event-stream")
+	hreq.Header.Set("Last-Event-ID", strconv.Itoa(lastSeen))
+	sresp, err := srv.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	events := readSSEWithIDs(t, bufio.NewReader(sresp.Body))
+
+	if len(events) != 4 {
+		t.Fatalf("resumed stream delivered %d frames, want 3 cases + done: %+v", len(events), events)
+	}
+	for i, want := range []int{3, 4, 5} {
+		ev := events[i]
+		if ev.name != "case" || ev.id != want {
+			t.Fatalf("frame %d = %s id %d, want case id %d", i, ev.name, ev.id, want)
+		}
+		var ce CaseEvent
+		if err := json.Unmarshal(ev.data, &ce); err != nil {
+			t.Fatal(err)
+		}
+		if ce.Seq != want {
+			t.Fatalf("frame %d carries seq %d, want %d (id and seq must agree)", i, ce.Seq, want)
+		}
+	}
+	last := events[3]
+	if last.name != "done" || last.id != 6 {
+		t.Fatalf("terminal frame = %s id %d, want done id 6", last.name, last.id)
+	}
+	var v JobView
+	if err := json.Unmarshal(last.data, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != JobDone {
+		t.Fatalf("done frame carries state %s", v.State)
+	}
+}

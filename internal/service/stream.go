@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // streamJob streams job's per-case results to one HTTP client as the
@@ -11,15 +12,19 @@ import (
 // view. Two wire formats share the mechanics:
 //
 //   - SSE (Accept: text/event-stream): "event: case" frames carrying
-//     {"case":i,"result":{...}}, closed by one "event: done" frame with
-//     the JobView.
-//   - chunked JSON lines (?watch=1): one {"case":i,"result":{...}} object
-//     per line, closed by {"done":{JobView}}.
+//     {"seq":n,"case":i,"result":{...}}, closed by one "event: done" frame
+//     with the JobView. Every case frame carries an "id:" line with the
+//     event's per-job delivery sequence (1, 2, 3, …).
+//   - chunked JSON lines (?watch=1): one {"seq":n,"case":i,"result":{...}}
+//     object per line, closed by {"done":{JobView}}.
 //
 // A subscriber joining late replays the already-finished cases first, so
 // the stream always delivers every case exactly once regardless of when
-// the client attached. A disconnected client just detaches (an async job
-// may have other watchers or pollers); the synchronous solve handler and
+// the client attached. A reattaching subscriber that presents the standard
+// Last-Event-ID header (the highest "id:" it saw) skips the cases already
+// delivered on its previous connection instead of replaying everything.
+// A disconnected client just detaches (an async job may have other
+// watchers or pollers); the synchronous solve handler and
 // DELETE /v1/jobs/{id} are the cancellation paths.
 func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, job *Job, sse bool) {
 	flusher, ok := w.(http.Flusher)
@@ -36,16 +41,30 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ss
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	// A reattaching client presents the last event ID it received; events
+	// at or below it were already delivered on the previous connection.
+	lastSeen := 0
+	if v, err := strconv.Atoi(r.Header.Get("Last-Event-ID")); err == nil && v > 0 {
+		lastSeen = v
+	}
+
 	replay, ch, stop := s.Watch(job)
 	defer stop()
 
+	maxSeq := lastSeen
 	emitCase := func(ev CaseEvent) bool {
+		if ev.Seq <= lastSeen {
+			return true // already delivered before the reattach
+		}
+		if ev.Seq > maxSeq {
+			maxSeq = ev.Seq
+		}
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return false
 		}
 		if sse {
-			_, err = fmt.Fprintf(w, "event: case\ndata: %s\n\n", data)
+			_, err = fmt.Fprintf(w, "id: %d\nevent: case\ndata: %s\n\n", ev.Seq, data)
 		} else {
 			_, err = fmt.Fprintf(w, "%s\n", data)
 		}
@@ -61,7 +80,7 @@ func (s *Service) streamJob(w http.ResponseWriter, r *http.Request, job *Job, ss
 			return
 		}
 		if sse {
-			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fmt.Fprintf(w, "id: %d\nevent: done\ndata: %s\n\n", maxSeq+1, data)
 		} else {
 			fmt.Fprintf(w, "{\"done\":%s}\n", data)
 		}

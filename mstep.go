@@ -431,6 +431,10 @@ type (
 	// ServiceStats is the service health report (queue depth, cache hit
 	// rate, latency percentiles, tiles executed, stream subscribers).
 	ServiceStats = service.Stats
+	// Health is the GET /v1/healthz readiness payload: queue headroom,
+	// running count, draining flag and uptime for load balancers and the
+	// fleet router's health checker.
+	Health = service.Health
 	// TraceInfo is a job's observability record: the stage timeline (queue
 	// wait, assembly, spectral estimation, per-tile solves, …) plus the
 	// sampled per-iteration convergence curve. Solver.Trace retrieves it by
